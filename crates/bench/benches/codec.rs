@@ -1,0 +1,47 @@
+//! Checkpoint-delta compression kernels (the pipeline of Figure 19).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+const LEN: usize = 4 << 20;
+
+/// A realistic checkpoint delta: mostly zeros, ~1% dirty 16 B slots.
+fn sparse_delta() -> Vec<u8> {
+    let mut v = vec![0u8; LEN];
+    let slots = LEN / 16;
+    let mut x = 0x1234_5678u64;
+    for _ in 0..slots / 100 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let s = (x as usize) % slots;
+        v[s * 16] = (x >> 33) as u8 | 1;
+        v[s * 16 + 3] = (x >> 41) as u8;
+    }
+    v
+}
+
+fn bench_compress(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes(LEN as u64));
+    let delta = sparse_delta();
+    g.bench_function("compress_sparse_delta", |b| {
+        b.iter(|| std::hint::black_box(aceso_codec::compress(&delta)));
+    });
+    let compressed = aceso_codec::compress(&delta);
+    g.bench_function("decompress_sparse_delta", |b| {
+        b.iter(|| std::hint::black_box(aceso_codec::decompress(&compressed, LEN).unwrap()));
+    });
+    // Dense (worst-case) input: compression must stay linear.
+    let dense: Vec<u8> = (0..LEN)
+        .map(|i| {
+            let x = (i as u64).wrapping_mul(6364136223846793005);
+            (x >> 33) as u8
+        })
+        .collect();
+    g.bench_function("compress_dense", |b| {
+        b.iter(|| std::hint::black_box(aceso_codec::compress(&dense).len()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_compress);
+criterion_main!(benches);

@@ -1,0 +1,102 @@
+//! Erasure-code kernels: X-Code vs Reed-Solomon (the paper's Table 2
+//! "Test Tpt" comparison, from first principles).
+
+use aceso_erasure::{xor_into, ReedSolomon, XCode};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+const CELL: usize = 256 << 10;
+
+fn data_cells(n: usize, len: usize) -> Vec<Vec<u8>> {
+    (0..n)
+        .map(|i| (0..len).map(|b| ((b * 31 + i * 7) & 0xFF) as u8).collect())
+        .collect()
+}
+
+fn bench_xor(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xor");
+    g.sample_size(20);
+    g.throughput(Throughput::Bytes((6 * CELL) as u64));
+    let cells = data_cells(6, CELL);
+    g.bench_function("parity_from_6_cells", |b| {
+        let mut parity = vec![0u8; CELL];
+        b.iter(|| {
+            parity.fill(0);
+            for d in &cells {
+                xor_into(&mut parity, d);
+            }
+            std::hint::black_box(parity[0])
+        });
+    });
+    g.finish();
+}
+
+fn bench_rs(c: &mut Criterion) {
+    let mut g = c.benchmark_group("reed_solomon");
+    g.sample_size(10);
+    g.throughput(Throughput::Bytes((6 * CELL) as u64));
+    let rs = ReedSolomon::new(6, 2).unwrap();
+    let cells = data_cells(6, CELL);
+    let refs: Vec<&[u8]> = cells.iter().map(|d| d.as_slice()).collect();
+    g.bench_function("encode_6_2", |b| {
+        b.iter(|| std::hint::black_box(rs.encode(&refs).unwrap()));
+    });
+    let parity = rs.encode(&refs).unwrap();
+    g.bench_function("reconstruct_two", |b| {
+        b.iter(|| {
+            let mut shards: Vec<Option<Vec<u8>>> = cells
+                .iter()
+                .cloned()
+                .chain(parity.iter().cloned())
+                .map(Some)
+                .collect();
+            shards[1] = None;
+            shards[4] = None;
+            rs.reconstruct(&mut shards).unwrap();
+            std::hint::black_box(shards[1].as_ref().unwrap()[0])
+        });
+    });
+    g.finish();
+}
+
+fn bench_xcode(c: &mut Criterion) {
+    let mut g = c.benchmark_group("xcode");
+    g.sample_size(10);
+    let code = XCode::new(5).unwrap();
+    let small = 64 << 10;
+    let data: Vec<Vec<Vec<u8>>> = (0..3)
+        .map(|k| {
+            data_cells(5, small)
+                .into_iter()
+                .map(|mut v| {
+                    v[0] ^= k as u8;
+                    v
+                })
+                .collect()
+        })
+        .collect();
+    g.throughput(Throughput::Bytes((15 * small) as u64));
+    g.bench_function("encode_n5", |b| {
+        b.iter(|| std::hint::black_box(code.encode(&data).unwrap()));
+    });
+    let (diag, anti) = code.encode(&data).unwrap();
+    g.bench_function("reconstruct_two_columns", |b| {
+        b.iter(|| {
+            let mut stripe: Vec<Vec<Option<Vec<u8>>>> = data
+                .iter()
+                .map(|row| row.iter().cloned().map(Some).collect())
+                .collect();
+            stripe.push(diag.iter().cloned().map(Some).collect());
+            stripe.push(anti.iter().cloned().map(Some).collect());
+            for row in stripe.iter_mut() {
+                row[0] = None;
+                row[3] = None;
+            }
+            code.reconstruct(&mut stripe).unwrap();
+            std::hint::black_box(stripe[0][0].as_ref().unwrap()[0])
+        });
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_xor, bench_rs, bench_xcode);
+criterion_main!(benches);

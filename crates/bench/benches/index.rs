@@ -1,0 +1,73 @@
+//! Index-path kernels: bucket scans, slot CAS, snapshotting.
+
+use aceso_index::{fingerprint, IndexLayout, RemoteIndex, SlotAtomic};
+use aceso_rdma::{Cluster, ClusterConfig, CostModel, NodeId};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn setup() -> (std::sync::Arc<Cluster>, RemoteIndex) {
+    let cluster = Cluster::new(ClusterConfig {
+        num_mns: 1,
+        region_len: 64 << 20,
+        cost: CostModel::default(),
+    });
+    let idx = RemoteIndex::new(NodeId(0), IndexLayout::new(0, 32_768));
+    (cluster, idx)
+}
+
+fn bench_index(c: &mut Criterion) {
+    let (cluster, idx) = setup();
+    let dm = cluster.client();
+
+    // Populate some slots.
+    for i in 0..10_000u32 {
+        let key = format!("bench-{i}");
+        let fp = fingerprint(key.as_bytes());
+        let scan = idx.scan(&dm, key.as_bytes(), fp).unwrap();
+        if let Some(&slot) = scan.empties.first() {
+            let _ = idx.cas_atomic(
+                &dm,
+                slot,
+                SlotAtomic::default(),
+                SlotAtomic {
+                    fp,
+                    addr48: 1 << 20,
+                    ver: 1,
+                },
+            );
+        }
+    }
+
+    let mut g = c.benchmark_group("index");
+    g.sample_size(30);
+    g.bench_function("scan_two_combined_buckets", |b| {
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let key = format!("bench-{}", i % 10_000);
+            let fp = fingerprint(key.as_bytes());
+            std::hint::black_box(idx.scan(&dm, key.as_bytes(), fp).unwrap().matches.len())
+        });
+    });
+    g.bench_function("slot_cas", |b| {
+        let addr = idx.slot_addr(0, 0);
+        let mut ver = 0u8;
+        b.iter(|| {
+            let old = idx.read_slot(&dm, addr).unwrap();
+            ver = ver.wrapping_add(1);
+            let new = SlotAtomic {
+                fp: 1,
+                addr48: 64,
+                ver,
+            };
+            std::hint::black_box(idx.cas_atomic(&dm, addr, old.atomic, new).unwrap())
+        });
+    });
+    g.bench_function("snapshot_12MiB_index", |b| {
+        let region = &cluster.node(NodeId(0)).unwrap().region;
+        b.iter(|| std::hint::black_box(idx.snapshot(region).len()));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_index);
+criterion_main!(benches);

@@ -1,0 +1,126 @@
+//! Regenerates the tables and figures of the Aceso paper (SOSP'24).
+//!
+//! ```text
+//! figures [--scale quick|default|big] [--out DIR] <experiment>...
+//! figures --all
+//! ```
+//!
+//! Experiments: `fig1a fig1b fig8 fig9 fig10 fig11 fig12 fig13 fig14
+//! fig15 fig16 fig17 fig18 fig19 fig20 table2 table3`.
+//!
+//! Each experiment prints the same rows/series the paper reports and is
+//! also written to `<out>/<experiment>.txt` (default `results/`).
+
+use aceso_bench::figs::{self, FigureOutput};
+use aceso_bench::harness::BenchScale;
+use std::io::Write;
+
+fn scale_by_name(name: &str) -> BenchScale {
+    match name {
+        "quick" => BenchScale {
+            keys: 4_000,
+            ops: 6_000,
+            warmup: 4_000,
+            ..BenchScale::default()
+        },
+        "big" => BenchScale {
+            keys: 100_000,
+            ops: 100_000,
+            warmup: 100_000,
+            ..BenchScale::default()
+        },
+        _ => BenchScale::default(),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut scale = BenchScale::default();
+    let mut full19 = false;
+    let mut out_dir = String::from("results");
+    let mut wanted: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--scale" => {
+                let v = it.next().expect("--scale needs a value");
+                scale = scale_by_name(&v);
+                full19 = v == "big";
+            }
+            "--out" => out_dir = it.next().expect("--out needs a value"),
+            "--all" => {
+                wanted = [
+                    "fig1a",
+                    "fig1b",
+                    "fig8",
+                    "fig9",
+                    "fig10",
+                    "fig11",
+                    "fig12",
+                    "fig13",
+                    "fig14",
+                    "fig15",
+                    "fig16",
+                    "fig17",
+                    "fig18",
+                    "fig19",
+                    "fig20",
+                    "table2",
+                    "table3",
+                    "ablation_ckpt",
+                    "ablation_recovery",
+                ]
+                .iter()
+                .map(|s| s.to_string())
+                .collect();
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        eprintln!(
+            "usage: figures [--scale quick|default|big] [--out DIR] (<experiment>... | --all)"
+        );
+        eprintln!(
+            "experiments: fig1a fig1b fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 \
+             fig16 fig17 fig18 fig19 fig20 table2 table3 ablation_ckpt ablation_recovery"
+        );
+        std::process::exit(2);
+    }
+    std::fs::create_dir_all(&out_dir).expect("create results dir");
+
+    for name in wanted {
+        let t = std::time::Instant::now();
+        let out: FigureOutput = match name.as_str() {
+            "fig1a" => figs::fig1::fig1a(scale),
+            "fig1b" => figs::fig1::fig1b(scale),
+            "fig8" => figs::fig8_9::fig8(scale),
+            "fig9" => figs::fig8_9::fig9(scale),
+            "fig10" => figs::fig10_11::fig10(scale),
+            "fig11" => figs::fig10_11::fig11(scale),
+            "fig12" => figs::fig12::fig12(scale),
+            "fig13" => figs::fig13::fig13(scale),
+            "fig14" => figs::fig14::fig14(scale),
+            "fig15" => figs::fig15::fig15(scale),
+            "fig16" => figs::fig16_18::fig16(scale),
+            "fig17" => figs::fig16_18::fig17(scale),
+            "fig18" => figs::fig16_18::fig18(scale),
+            "fig19" => figs::fig19::fig19(full19),
+            "fig20" => figs::fig20::fig20(scale),
+            "table2" => figs::table2::table2(scale),
+            "table3" => figs::table3::table3(scale),
+            "ablation_ckpt" => figs::ablation::ablation_ckpt(scale),
+            "ablation_recovery" => figs::ablation::ablation_recovery(scale),
+            other => {
+                eprintln!("unknown experiment: {other}");
+                continue;
+            }
+        };
+        out.print();
+        eprintln!("[{name} took {:.1}s]", t.elapsed().as_secs_f64());
+        let path = format!("{out_dir}/{name}.txt");
+        let mut f = std::fs::File::create(&path).expect("write result");
+        writeln!(f, "===== {} =====", out.id).unwrap();
+        f.write_all(out.text.as_bytes()).unwrap();
+    }
+}

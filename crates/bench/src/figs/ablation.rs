@@ -1,0 +1,110 @@
+//! Ablations of Aceso's design choices, beyond the paper's own figures.
+//!
+//! * **Checkpoint scheme** — what differential checkpointing and
+//!   compression each buy (§3.2.1 motivates both; this quantifies them):
+//!   bytes on the wire per round for (full, full+LZ, differential,
+//!   differential+LZ).
+//! * **Recovery parallelism** — the paper's §4.5 future work
+//!   ("distributing coding stripe recovery tasks across multiple CNs,
+//!   similar to RAMCloud"): Block-tier recovery time vs worker count.
+
+use crate::figs::FigureOutput;
+use crate::fmt_bytes;
+use crate::harness::{self, BenchScale};
+use aceso_core::{recover_mn, AcesoConfig, AcesoStore};
+use aceso_workloads::{MicroWorkload, Op};
+
+/// Checkpoint-scheme ablation over a synthetic 64 MB index round.
+pub fn ablation_ckpt(_scale: BenchScale) -> FigureOutput {
+    let bytes = 64 << 20;
+    // Populated index + one 500 ms window of updates (as in Figure 19).
+    let mut index = vec![0u8; bytes];
+    let slots = bytes / 16;
+    let mut x = 7u64;
+    for s in 0..slots {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        if x % 4 != 3 {
+            index[s * 16..s * 16 + 8].copy_from_slice(&(x | 1).to_le_bytes());
+        }
+    }
+    let baseline = index.clone();
+    for _ in 0..400_000 {
+        x = x.wrapping_mul(2862933555777941757).wrapping_add(3037000493);
+        let s = (x as usize) % slots;
+        index[s * 16] ^= 0x5A;
+        index[s * 16 + 3] = index[s * 16 + 3].wrapping_add(1);
+    }
+
+    let full = index.len();
+    let full_lz = aceso_codec::compress(&index).len();
+    let mut delta = index.clone();
+    aceso_erasure::xor_into(&mut delta, &baseline);
+    let diff = delta.len();
+    let diff_lz = aceso_codec::compress(&delta).len();
+
+    let text = format!(
+        "Checkpoint bytes per round, 64 MB index, one 500 ms update window\n\
+         scheme                    |     bytes | vs full\n\
+         full snapshot             | {:>9} | 1.00x\n\
+         full + LZ                 | {:>9} | {:.2}x\n\
+         differential (XOR)        | {:>9} | {:.2}x (incompressible without LZ)\n\
+         differential + LZ (Aceso) | {:>9} | {:.4}x\n",
+        fmt_bytes(full as u64),
+        fmt_bytes(full_lz as u64),
+        full_lz as f64 / full as f64,
+        fmt_bytes(diff as u64),
+        diff as f64 / full as f64,
+        fmt_bytes(diff_lz as u64),
+        diff_lz as f64 / full as f64,
+    );
+    FigureOutput {
+        id: "Ablation: checkpoint scheme",
+        text,
+    }
+}
+
+/// Recovery-parallelism ablation: Block-tier recovery time vs workers.
+pub fn ablation_recovery(scale: BenchScale) -> FigureOutput {
+    let mut text = String::from(
+        "MN recovery vs parallel recovery workers (RAMCloud-style)\n\
+         The network component scales with the read fan-in; the compute\n\
+         component is this machine's single-core XOR time (it would also\n\
+         drop with real parallel CNs; this box has one core).\n\
+         workers | block-tier network (ms) | block-tier compute (ms)\n",
+    );
+    for workers in [1usize, 2, 4] {
+        let cfg = AcesoConfig {
+            recovery_workers: workers,
+            num_arrays: 96,
+            num_delta: 96,
+            ..harness::bench_aceso_config()
+        };
+        let store = AcesoStore::launch(cfg).unwrap();
+        let mut client = store.client().unwrap();
+        for req in
+            MicroWorkload::new(0, Op::Insert, scale.keys, scale.value_len).take(scale.keys as usize)
+        {
+            client
+                .insert(
+                    &req.key,
+                    &aceso_workloads::value_for(&req.key, 0, req.value_len),
+                )
+                .unwrap();
+        }
+        client.close_open_blocks().unwrap();
+        store.checkpoint_tick().unwrap();
+        store.checkpoint_tick().unwrap();
+        store.kill_mn(2);
+        let r = recover_mn(&store, 2).unwrap();
+        text.push_str(&format!(
+            "{workers:7} | {:23.2} | {:22.1}\n",
+            r.old_lblock_net_ms, r.old_lblock_cpu_ms,
+        ));
+        store.shutdown();
+    }
+    text.push_str("(modeled transfer divides by the read fan-in, capped at the n−1 source NICs)\n");
+    FigureOutput {
+        id: "Ablation: recovery parallelism",
+        text,
+    }
+}

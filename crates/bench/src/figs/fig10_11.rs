@@ -1,0 +1,106 @@
+//! Figures 10 & 11 — macrobenchmarks: YCSB A–D and Twitter cluster mixes
+//! (paper §4.3).
+
+use crate::figs::FigureOutput;
+use crate::harness::{self, BenchScale};
+use aceso_core::AcesoStore;
+use aceso_fusee::FuseeStore;
+use aceso_workloads::ycsb::YcsbKind;
+use aceso_workloads::{TwitterCluster, YcsbWorkload};
+
+const THETA: f64 = 0.99;
+
+fn run_pair<F, G, WA, WF>(scale: BenchScale, make_aceso: F, make_fusee: G) -> (f64, f64)
+where
+    WA: Iterator<Item = aceso_workloads::Request> + Send + 'static,
+    WF: Iterator<Item = aceso_workloads::Request> + Send + 'static,
+    F: Fn(u32) -> WA,
+    G: Fn(u32) -> WF,
+{
+    let store = AcesoStore::launch(harness::bench_aceso_config()).unwrap();
+    harness::preload_aceso(
+        &store,
+        YcsbWorkload::preload_keys(scale.keys),
+        scale.value_len,
+    );
+    let bg = harness::ckpt_bg_rate(&store, store.cfg.ckpt_interval_ms);
+    let a = harness::aceso_phase(&store, scale, bg, make_aceso);
+    store.shutdown();
+
+    let fstore = FuseeStore::launch(harness::bench_fusee_config());
+    harness::preload_fusee(
+        &fstore,
+        YcsbWorkload::preload_keys(scale.keys),
+        scale.value_len,
+    );
+    let f = harness::fusee_phase(&fstore, scale, make_fusee);
+    (a.report().mops, f.report().mops)
+}
+
+/// Figure 10: YCSB A/B/C/D throughput.
+pub fn fig10(scale: BenchScale) -> FigureOutput {
+    let mut text = String::from(
+        "YCSB throughput (Mops), Zipfian θ=0.99\nworkload |   Aceso |   FUSEE | ratio\n",
+    );
+    for kind in YcsbKind::ALL {
+        let (a, f) = run_pair(
+            scale,
+            |t| YcsbWorkload::new(kind, scale.keys, THETA, scale.value_len, t, 42),
+            |t| YcsbWorkload::new(kind, scale.keys, THETA, scale.value_len, t, 42),
+        );
+        text.push_str(&format!(
+            "{:8} | {:7.2} | {:7.2} | {:4.2}x\n",
+            kind.name(),
+            a,
+            f,
+            a / f
+        ));
+    }
+    FigureOutput {
+        id: "Figure 10",
+        text,
+    }
+}
+
+/// Figure 11: Twitter cluster mixes.
+pub fn fig11(scale: BenchScale) -> FigureOutput {
+    let mut text = String::from(
+        "Twitter-trace throughput (Mops), synthetic cluster mixes\ncluster   |   Aceso |   FUSEE | ratio\n",
+    );
+    for cluster in TwitterCluster::ALL {
+        let (a, f) = run_pair(
+            scale,
+            |t| {
+                aceso_workloads::twitter::TwitterWorkload::new(
+                    cluster,
+                    scale.keys,
+                    THETA,
+                    scale.value_len,
+                    t,
+                    42,
+                )
+            },
+            |t| {
+                aceso_workloads::twitter::TwitterWorkload::new(
+                    cluster,
+                    scale.keys,
+                    THETA,
+                    scale.value_len,
+                    t,
+                    42,
+                )
+            },
+        );
+        text.push_str(&format!(
+            "{:9} | {:7.2} | {:7.2} | {:4.2}x\n",
+            cluster.name(),
+            a,
+            f,
+            a / f
+        ));
+    }
+    FigureOutput {
+        id: "Figure 11",
+        text,
+    }
+}

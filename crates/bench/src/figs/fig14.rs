@@ -1,0 +1,110 @@
+//! Figure 14 — degraded SEARCH and space-reclaimed UPDATE (paper §4.4).
+//!
+//! Left: after an MN crash and Index-tier-only recovery, SEARCHes that hit
+//! lost blocks reconstruct the slot range from a parity chain — the paper
+//! measures ≈0.53× of normal throughput.
+//! Right: UPDATEs that overwrite obsolete slots in reclaimed blocks pay an
+//! extra block read up front — ≈0.97× of normal.
+
+use crate::figs::FigureOutput;
+use crate::harness::{self, BenchScale};
+use aceso_core::{recover_mn_with, AcesoConfig, AcesoStore};
+use aceso_workloads::{MicroWorkload, Op};
+
+fn search_phase(store: &std::sync::Arc<AcesoStore>, scale: BenchScale) -> f64 {
+    let phase = harness::aceso_phase(store, scale, vec![], |t| {
+        MicroWorkload::new(t, Op::Search, scale.keys, scale.value_len)
+    });
+    phase.report().mops
+}
+
+/// Degraded SEARCH vs normal SEARCH.
+pub fn degraded_search(scale: BenchScale) -> (f64, f64) {
+    let store = AcesoStore::launch(harness::bench_aceso_config()).unwrap();
+    for t in 0..scale.threads as u32 {
+        harness::preload_aceso(
+            &store,
+            MicroWorkload::new(t, Op::Search, scale.keys, scale.value_len).preload_keys(),
+            scale.value_len,
+        );
+    }
+    let normal = search_phase(&store, scale);
+
+    // Two rounds so the preloaded blocks are strictly *older* than the
+    // checkpoint and stay lost after Index-tier-only recovery.
+    store.checkpoint_tick().unwrap();
+    store.checkpoint_tick().unwrap();
+    store.kill_mn(1);
+    recover_mn_with(&store, 1, false).unwrap(); // Index tier only.
+    let degraded = search_phase(&store, scale);
+    store.shutdown();
+    (normal, degraded)
+}
+
+/// Space-reclaimed UPDATE vs normal UPDATE.
+pub fn reclaimed_update(scale: BenchScale) -> (f64, f64) {
+    // Normal: plenty of space, no reclamation.
+    let store = AcesoStore::launch(harness::bench_aceso_config()).unwrap();
+    for t in 0..scale.threads as u32 {
+        harness::preload_aceso(
+            &store,
+            MicroWorkload::new(t, Op::Update, scale.keys, scale.value_len).preload_keys(),
+            scale.value_len,
+        );
+    }
+    let phase = harness::aceso_phase(&store, scale, vec![], |t| {
+        MicroWorkload::new(t, Op::Update, scale.keys, scale.value_len)
+    });
+    let normal = phase.report().mops;
+    store.shutdown();
+
+    // Special: a pool small enough that updates run on reclaimed blocks.
+    let kv_class = (16 + 17 + scale.value_len + 1).div_ceil(64) as u64 * 64;
+    let bytes_needed = scale.keys * kv_class;
+    let cfg = harness::bench_aceso_config();
+    let arrays = (bytes_needed * 3 / 2 / (cfg.block_size * 3)).max(2);
+    let store = AcesoStore::launch(AcesoConfig {
+        num_arrays: arrays,
+        reclaim_free_ratio: 1.1, // Reclaim aggressively.
+        ..cfg
+    })
+    .unwrap();
+    for t in 0..scale.threads as u32 {
+        harness::preload_aceso(
+            &store,
+            MicroWorkload::new(t, Op::Update, scale.keys, scale.value_len).preload_keys(),
+            scale.value_len,
+        );
+    }
+    // Warm up through one full overwrite cycle so reclamation kicks in.
+    let warm = harness::aceso_phase(&store, scale, vec![], |t| {
+        MicroWorkload::new(t, Op::Update, scale.keys, scale.value_len)
+    });
+    drop(warm);
+    let phase = harness::aceso_phase(&store, scale, vec![], |t| {
+        MicroWorkload::new(t, Op::Update, scale.keys, scale.value_len)
+    });
+    let special = phase.report().mops;
+    store.shutdown();
+    (normal, special)
+}
+
+/// Renders both panels.
+pub fn fig14(scale: BenchScale) -> FigureOutput {
+    let (sn, sd) = degraded_search(scale);
+    let (un, ur) = reclaimed_update(scale);
+    let text = format!(
+        "Degraded SEARCH:  normal {:6.2} Mops | degraded {:6.2} Mops | ratio {:4.2}x\n\
+         Reclaimed UPDATE: normal {:6.2} Mops | reclaimed {:5.2} Mops | ratio {:4.2}x\n",
+        sn,
+        sd,
+        sd / sn,
+        un,
+        ur,
+        ur / un,
+    );
+    FigureOutput {
+        id: "Figure 14",
+        text,
+    }
+}

@@ -1,0 +1,146 @@
+//! Figures 16, 17 and 18 — recovery-time and checkpoint-interval sweeps
+//! (paper §4.5).
+//!
+//! * Fig 16: MN recovery time per area as the lost data size grows: the
+//!   Meta and Index tiers stay flat, the Block tier scales linearly.
+//! * Fig 17: foreground throughput vs checkpoint interval.
+//! * Fig 18: recovery time per area vs checkpoint interval: longer
+//!   intervals leave more post-checkpoint KVs to scan in the Index tier.
+
+use crate::figs::FigureOutput;
+use crate::harness::{self, BenchScale};
+use aceso_core::{recover_mn, AcesoConfig, AcesoStore, RecoveryReport};
+use aceso_workloads::{MicroWorkload, Op};
+use std::sync::Arc;
+
+fn store_with_capacity(keys: u64, value_len: usize) -> Arc<AcesoStore> {
+    let cfg = harness::bench_aceso_config();
+    let kv_class = (16 + 17 + value_len + 1).div_ceil(64) as u64 * 64;
+    let need = keys * kv_class * 2;
+    let arrays = (need / (cfg.block_size * 3) + 8).max(cfg.num_arrays);
+    AcesoStore::launch(AcesoConfig {
+        num_arrays: arrays,
+        num_delta: arrays,
+        ..cfg
+    })
+    .unwrap()
+}
+
+/// Writes `keys` KVs, checkpoints, optionally writes `post_keys` more, then
+/// kills one MN and recovers it.
+fn crash_and_recover(keys: u64, post_keys: u64, value_len: usize) -> RecoveryReport {
+    let store = store_with_capacity(keys + post_keys, value_len);
+    let mut client = store.client().unwrap();
+    for req in MicroWorkload::new(0, Op::Insert, keys, value_len).take(keys as usize) {
+        client
+            .insert(
+                &req.key,
+                &aceso_workloads::value_for(&req.key, 0, req.value_len),
+            )
+            .unwrap();
+    }
+    client.close_open_blocks().unwrap();
+    // Two rounds: the preloaded blocks become strictly older than the
+    // checkpoint (the Block tier's work), only `post_keys` stay "new".
+    store.checkpoint_tick().unwrap();
+    store.checkpoint_tick().unwrap();
+    for req in MicroWorkload::new(1000, Op::Insert, post_keys, value_len).take(post_keys as usize) {
+        client
+            .insert(
+                &req.key,
+                &aceso_workloads::value_for(&req.key, 0, req.value_len),
+            )
+            .unwrap();
+    }
+    client.close_open_blocks().unwrap();
+    store.kill_mn(2);
+    let report = recover_mn(&store, 2).unwrap();
+    store.shutdown();
+    report
+}
+
+/// Public wrapper for Table 2's use of the same crash/recover setup.
+pub fn crash_and_recover_public(keys: u64, post_keys: u64, value_len: usize) -> RecoveryReport {
+    crash_and_recover(keys, post_keys, value_len)
+}
+
+/// Figure 16: lost-data-size sweep.
+pub fn fig16(scale: BenchScale) -> FigureOutput {
+    let mut text = String::from(
+        "MN recovery time (ms) vs lost data size\nkeys     |  Meta |  Index |  Block |  Total\n",
+    );
+    for mult in [1u64, 2, 4, 8] {
+        let keys = scale.keys * mult / 4;
+        let r = crash_and_recover(keys, keys / 20, scale.value_len);
+        text.push_str(&format!(
+            "{keys:8} | {:5.1} | {:6.1} | {:6.1} | {:6.1}\n",
+            r.read_meta_ms,
+            r.read_ckpt_ms + r.recover_lblock_ms + r.read_rblock_ms + r.scan_kv_ms,
+            r.recover_old_lblock_ms,
+            r.total_ms(),
+        ));
+    }
+    FigureOutput {
+        id: "Figure 16",
+        text,
+    }
+}
+
+/// Figure 17: throughput vs checkpoint interval.
+pub fn fig17(scale: BenchScale) -> FigureOutput {
+    let mut text =
+        String::from("Throughput (Mops) vs checkpoint interval\ninterval |  UPDATE |  SEARCH\n");
+    for interval_ms in [100u64, 250, 500, 1000, 5000] {
+        let mut row = format!("{interval_ms:5} ms |");
+        for op in [Op::Update, Op::Search] {
+            let store = AcesoStore::launch(harness::bench_aceso_config()).unwrap();
+            for t in 0..scale.threads as u32 {
+                harness::preload_aceso(
+                    &store,
+                    MicroWorkload::new(t, op, scale.keys, scale.value_len).preload_keys(),
+                    scale.value_len,
+                );
+            }
+            let bg = harness::ckpt_bg_rate(&store, interval_ms);
+            let phase = harness::aceso_phase(&store, scale, bg, |t| {
+                MicroWorkload::new(t, op, scale.keys, scale.value_len)
+            });
+            row.push_str(&format!(" {:7.2} |", phase.report().mops));
+            store.shutdown();
+        }
+        text.push_str(&row);
+        text.push('\n');
+    }
+    FigureOutput {
+        id: "Figure 17",
+        text,
+    }
+}
+
+/// Figure 18: recovery time vs checkpoint interval.
+///
+/// Longer intervals mean more KVs committed after the last checkpoint; the
+/// sweep writes `rate × interval` post-checkpoint keys, with `rate` fixed
+/// so the 500 ms point matches Figure 16's shape.
+pub fn fig18(scale: BenchScale) -> FigureOutput {
+    let mut text = String::from(
+        "MN recovery time (ms) vs checkpoint interval\ninterval |  Meta |  Index |  Block |  Total\n",
+    );
+    let keys = scale.keys;
+    for interval_ms in [100u64, 250, 500, 1000, 5000] {
+        // Post-checkpoint keys proportional to the interval.
+        let post = (keys as f64 * interval_ms as f64 / 5000.0) as u64;
+        let r = crash_and_recover(keys, post.max(16), scale.value_len);
+        text.push_str(&format!(
+            "{interval_ms:5} ms | {:5.1} | {:6.1} | {:6.1} | {:6.1}\n",
+            r.read_meta_ms,
+            r.read_ckpt_ms + r.recover_lblock_ms + r.read_rblock_ms + r.scan_kv_ms,
+            r.recover_old_lblock_ms,
+            r.total_ms(),
+        ));
+    }
+    FigureOutput {
+        id: "Figure 18",
+        text,
+    }
+}

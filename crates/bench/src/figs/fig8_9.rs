@@ -1,0 +1,135 @@
+//! Figures 8 & 9 — microbenchmark throughput and P50/P99 latency,
+//! Aceso vs FUSEE, for INSERT / UPDATE / SEARCH / DELETE (paper §4.2).
+
+use crate::figs::FigureOutput;
+use crate::harness::{self, BenchScale, Phase};
+use aceso_core::AcesoStore;
+use aceso_fusee::FuseeStore;
+use aceso_rdma::OpKind;
+use aceso_workloads::{MicroWorkload, Op};
+
+fn op_kind(op: Op) -> OpKind {
+    match op {
+        Op::Insert => OpKind::Insert,
+        Op::Update => OpKind::Update,
+        Op::Search => OpKind::Search,
+        Op::Delete => OpKind::Delete,
+    }
+}
+
+/// Runs one micro phase per op type for both systems; returns
+/// `(aceso, fusee)` phases per op.
+pub fn micro_phases(scale: BenchScale) -> Vec<(Op, Phase, Phase)> {
+    let mut out = Vec::new();
+    for op in [Op::Insert, Op::Update, Op::Search, Op::Delete] {
+        // One-shot ops (INSERT of fresh keys, DELETE) measure cold; UPDATE
+        // and SEARCH measure warm steady state like the paper.
+        let scale = BenchScale {
+            warmup: if matches!(op, Op::Insert | Op::Delete) {
+                0
+            } else {
+                scale.warmup
+            },
+            ..scale
+        };
+        // Aceso, with live checkpoint interference at the default 500 ms.
+        let store = AcesoStore::launch(harness::bench_aceso_config()).unwrap();
+        if op != Op::Insert {
+            for t in 0..scale.threads as u32 {
+                harness::preload_aceso(
+                    &store,
+                    MicroWorkload::new(t, op, scale.keys, scale.value_len).preload_keys(),
+                    scale.value_len,
+                );
+            }
+        }
+        let bg = harness::ckpt_bg_rate(&store, store.cfg.ckpt_interval_ms);
+        let aceso = harness::aceso_phase(&store, scale, bg, |t| {
+            let base = if op == Op::Insert { t + 100 } else { t };
+            MicroWorkload::new(base, op, scale.keys, scale.value_len)
+        });
+        store.shutdown();
+
+        let fstore = FuseeStore::launch(harness::bench_fusee_config());
+        if op != Op::Insert {
+            for t in 0..scale.threads as u32 {
+                harness::preload_fusee(
+                    &fstore,
+                    MicroWorkload::new(t, op, scale.keys, scale.value_len).preload_keys(),
+                    scale.value_len,
+                );
+            }
+        }
+        let fusee = harness::fusee_phase(&fstore, scale, |t| {
+            let base = if op == Op::Insert { t + 100 } else { t };
+            MicroWorkload::new(base, op, scale.keys, scale.value_len)
+        });
+        out.push((op, aceso, fusee));
+    }
+    out
+}
+
+/// Figure 8: throughput with coefficients normalized to FUSEE.
+pub fn fig8(scale: BenchScale) -> FigureOutput {
+    let mut text = String::from(
+        "Microbenchmark throughput (Mops)\nop      |   Aceso |   FUSEE | Aceso/FUSEE\n",
+    );
+    for (op, a, f) in micro_phases(scale) {
+        let (ar, fr) = (a.report(), f.report());
+        let prof = |p: &Phase| {
+            let n = p.m.records.len().max(1) as f64;
+            let (v, c, b, r) = p.m.records.iter().fold((0u64, 0u64, 0u64, 0u64), |acc, x| {
+                (
+                    acc.0 + x.verbs as u64,
+                    acc.1 + x.cas as u64,
+                    acc.2 + x.read_bytes as u64 + x.write_bytes as u64,
+                    acc.3 + x.rtts as u64,
+                )
+            });
+            format!(
+                "verbs {:.1} cas {:.1} bytes {:.0} rtts {:.1}",
+                v as f64 / n,
+                c as f64 / n,
+                b as f64 / n,
+                r as f64 / n
+            )
+        };
+        text.push_str(&format!(
+            "{:7} | {:7.2} | {:7.2} | {:10.2}x   [aceso {} @{} | fusee {} @{}]\n",
+            op_kind(op).name(),
+            ar.mops,
+            fr.mops,
+            ar.mops / fr.mops,
+            prof(&a),
+            ar.bottleneck.label(),
+            prof(&f),
+            fr.bottleneck.label(),
+        ));
+    }
+    FigureOutput {
+        id: "Figure 8",
+        text,
+    }
+}
+
+/// Figure 9: P50/P99 latencies.
+pub fn fig9(scale: BenchScale) -> FigureOutput {
+    let mut text = String::from(
+        "Microbenchmark latency (µs)\nop      | Aceso P50 | Aceso P99 | FUSEE P50 | FUSEE P99\n",
+    );
+    for (op, a, f) in micro_phases(scale) {
+        let (al, fl) = (a.latency_for(op_kind(op)), f.latency_for(op_kind(op)));
+        text.push_str(&format!(
+            "{:7} | {:9.1} | {:9.1} | {:9.1} | {:9.1}\n",
+            op_kind(op).name(),
+            al.p50_us,
+            al.p99_us,
+            fl.p50_us,
+            fl.p99_us
+        ));
+    }
+    FigureOutput {
+        id: "Figure 9",
+        text,
+    }
+}

@@ -1,0 +1,33 @@
+//! One module per paper table/figure. Each `run()` prints the same rows or
+//! series the paper reports and returns the formatted text so the
+//! `figures` binary can also persist it under `results/`.
+
+pub mod ablation;
+pub mod fig1;
+pub mod fig10_11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16_18;
+pub mod fig19;
+pub mod fig20;
+pub mod fig8_9;
+pub mod table2;
+pub mod table3;
+
+/// A rendered experiment: a title plus the table body.
+pub struct FigureOutput {
+    /// e.g. "Figure 8".
+    pub id: &'static str,
+    /// The rendered table.
+    pub text: String,
+}
+
+impl FigureOutput {
+    /// Prints to stdout with a header rule.
+    pub fn print(&self) {
+        println!("\n===== {} =====", self.id);
+        println!("{}", self.text);
+    }
+}

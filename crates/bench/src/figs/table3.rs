@@ -1,0 +1,73 @@
+//! Table 3 — MN CPU load (paper §4.4): utilization of the four logical
+//! server cores (RPC serving, erasure coding, checkpoint sending,
+//! checkpoint receiving) under an all-write workload with live
+//! checkpointing.
+
+use crate::figs::FigureOutput;
+use crate::harness::{self, BenchScale};
+use aceso_core::AcesoStore;
+use aceso_workloads::{MicroWorkload, Op};
+use std::time::Instant;
+
+/// Measures per-role busy time over a write-heavy window.
+pub fn table3(scale: BenchScale) -> FigureOutput {
+    // A 64 MB index per MN (the paper uses 256 MB) so checkpoint rounds do
+    // visible work per 500 ms window.
+    let store = AcesoStore::launch(aceso_core::AcesoConfig {
+        index_groups: 175_000,
+        ..harness::bench_aceso_config()
+    })
+    .unwrap();
+    for s in 0..store.cfg.num_mns {
+        store.server(s).meters.reset();
+    }
+    let wall = Instant::now();
+    // Drive inserts while ticking checkpoints at the default interval.
+    let writer = {
+        let store = std::sync::Arc::clone(&store);
+        let keys = scale.keys;
+        let value_len = scale.value_len;
+        std::thread::spawn(move || {
+            let mut client = store.client().unwrap();
+            for req in MicroWorkload::new(7, Op::Insert, keys, value_len).take(keys as usize) {
+                client
+                    .insert(
+                        &req.key,
+                        &aceso_workloads::value_for(&req.key, 0, req.value_len),
+                    )
+                    .unwrap();
+            }
+            let _ = client.close_open_blocks();
+        })
+    };
+    let mut ticks = 0;
+    while !writer.is_finished() {
+        std::thread::sleep(std::time::Duration::from_millis(store.cfg.ckpt_interval_ms));
+        let _ = store.checkpoint_tick();
+        ticks += 1;
+    }
+    writer.join().unwrap();
+    let wall_ns = wall.elapsed().as_nanos() as f64;
+
+    let mut text = format!(
+        "MN logical-core utilization over a {:.1}s all-write window ({} ckpt rounds)\n\
+         node | RPC serve | erasure coding | ckpt send | ckpt recv\n",
+        wall_ns / 1e9,
+        ticks
+    );
+    for col in 0..store.cfg.num_mns {
+        let [rpc, ec, send, recv] = store.server(col).meters.snapshot();
+        text.push_str(&format!(
+            "mn{col}  | {:8.1}% | {:13.1}% | {:8.1}% | {:8.1}%\n",
+            rpc as f64 / wall_ns * 100.0,
+            ec as f64 / wall_ns * 100.0,
+            send as f64 / wall_ns * 100.0,
+            recv as f64 / wall_ns * 100.0,
+        ));
+    }
+    store.shutdown();
+    FigureOutput {
+        id: "Table 3",
+        text,
+    }
+}

@@ -1,0 +1,152 @@
+//! The Free Bitmap: one bit per KV slot of a DATA block (paper §3.3.3).
+//!
+//! Bit semantics follow the paper: 0 = live (or never written), 1 =
+//! obsolete. Clients accumulate obsolete bits locally and flush them to the
+//! MN server by RPC in bulk; the server folds them into the block's record
+//! and uses the count to pick reclamation candidates.
+
+/// A fixed-width bitmap backed by bytes.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct Bitmap {
+    bits: usize,
+    bytes: Vec<u8>,
+}
+
+impl Bitmap {
+    /// Creates an all-zero bitmap of `bits` bits.
+    pub fn new(bits: usize) -> Self {
+        Bitmap {
+            bits,
+            bytes: vec![0u8; bits.div_ceil(8)],
+        }
+    }
+
+    /// Restores a bitmap from its byte serialization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is shorter than `bits` requires.
+    pub fn from_bytes(bits: usize, bytes: &[u8]) -> Self {
+        assert!(bytes.len() >= bits.div_ceil(8));
+        Bitmap {
+            bits,
+            bytes: bytes[..bits.div_ceil(8)].to_vec(),
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.bits
+    }
+
+    /// Whether the bitmap has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.bits == 0
+    }
+
+    /// The backing bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Gets bit `i`.
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.bits, "bit {i} out of {}", self.bits);
+        self.bytes[i / 8] & (1 << (i % 8)) != 0
+    }
+
+    /// Sets bit `i` to `v`.
+    pub fn set(&mut self, i: usize, v: bool) {
+        assert!(i < self.bits, "bit {i} out of {}", self.bits);
+        if v {
+            self.bytes[i / 8] |= 1 << (i % 8);
+        } else {
+            self.bytes[i / 8] &= !(1 << (i % 8));
+        }
+    }
+
+    /// Number of set (obsolete) bits.
+    pub fn count_ones(&self) -> usize {
+        self.bytes.iter().map(|b| b.count_ones() as usize).sum()
+    }
+
+    /// ORs another bitmap of the same width into this one (bulk flush).
+    ///
+    /// # Panics
+    ///
+    /// Panics on width mismatch.
+    pub fn or_with(&mut self, other: &Bitmap) {
+        assert_eq!(self.bits, other.bits);
+        for (a, b) in self.bytes.iter_mut().zip(&other.bytes) {
+            *a |= b;
+        }
+    }
+
+    /// Clears every bit (block reuse resets the bitmap, §3.3.3).
+    pub fn clear(&mut self) {
+        self.bytes.fill(0);
+    }
+
+    /// Iterator over indices of set bits.
+    pub fn ones(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.bits).filter(move |&i| self.get(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn set_get_count() {
+        let mut b = Bitmap::new(20);
+        assert_eq!(b.count_ones(), 0);
+        b.set(0, true);
+        b.set(7, true);
+        b.set(8, true);
+        b.set(19, true);
+        assert_eq!(b.count_ones(), 4);
+        assert!(b.get(19));
+        assert!(!b.get(18));
+        b.set(19, false);
+        assert_eq!(b.count_ones(), 3);
+        assert_eq!(b.ones().collect::<Vec<_>>(), vec![0, 7, 8]);
+    }
+
+    #[test]
+    fn or_accumulates() {
+        let mut a = Bitmap::new(16);
+        let mut b = Bitmap::new(16);
+        a.set(1, true);
+        b.set(2, true);
+        b.set(1, true);
+        a.or_with(&b);
+        assert_eq!(a.ones().collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let mut a = Bitmap::new(13);
+        a.set(12, true);
+        a.set(3, true);
+        let b = Bitmap::from_bytes(13, a.as_bytes());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_panics() {
+        Bitmap::new(8).get(8);
+    }
+
+    proptest! {
+        #[test]
+        fn proptest_count_matches_sets(idx in proptest::collection::btree_set(0usize..200, 0..50)) {
+            let mut b = Bitmap::new(200);
+            for &i in &idx { b.set(i, true); }
+            prop_assert_eq!(b.count_ones(), idx.len());
+            prop_assert_eq!(b.ones().collect::<Vec<_>>(), idx.into_iter().collect::<Vec<_>>());
+        }
+    }
+}

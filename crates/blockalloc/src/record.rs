@@ -1,0 +1,223 @@
+//! The per-block metadata record (paper Figure 5).
+//!
+//! Every block of the Block Area — DATA, PARITY or DELTA — has one
+//! fixed-size record in the Meta Area. The Meta Area is fault-tolerant by
+//! plain replication to the neighbouring MN (§3.1), so records must be
+//! serializable to raw bytes; this module defines that layout:
+//!
+//! ```text
+//! offset  field
+//! 0       Role (u8: 0 free, 1 data, 2 parity, 3 delta)
+//! 1       Valid (u8)
+//! 2       XOR ID (u8) — row of the cell within its column
+//! 3       slot len (u8, 64 B units) — the block's KV size class
+//! 4..8    CLI ID (u32) — owning client
+//! 8..16   Index Version (u64), stamped when the block fills (§3.2.3)
+//! 16..24  stripe array index (u64)
+//! 24..26  XOR Map (u16) — parity blocks: bit k set ⇔ the k-th data
+//!         position of this parity's equation has been encoded
+//! 32..160 Delta Addr (16 × u64) — parity blocks: packed global address of
+//!         the DELTA block covering the k-th data position (0 = none)
+//! 256..   Free Bitmap (1024 B) — data blocks: obsolete-KV bits
+//! ```
+//!
+//! Record size is 1280 B, bounding KV slots per block at 8192 — i.e. the
+//! smallest supported size class is `block_size / 8192` (256 B at the
+//! default 2 MB block, matching the paper's footnote that extremely small
+//! KVs are out of scope).
+
+use crate::bitmap::Bitmap;
+
+/// Serialized record size in bytes.
+pub const RECORD_BYTES: u64 = 1280;
+/// Byte offset of the Free Bitmap inside a record.
+const BITMAP_OFF: usize = 256;
+/// Maximum KV slots per block (bitmap width).
+pub const MAX_SLOTS: usize = 8192;
+/// Maximum data positions per parity equation (X-Code `n − 2 ≤ 16`).
+pub const MAX_POSITIONS: usize = 16;
+
+/// The Role field (paper Figure 5).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum Role {
+    /// Unallocated.
+    #[default]
+    Free = 0,
+    /// Holds KV pairs.
+    Data = 1,
+    /// Holds erasure parity.
+    Parity = 2,
+    /// Temporary delta placeholder for an unfilled DATA block.
+    Delta = 3,
+}
+
+impl Role {
+    fn from_u8(v: u8) -> Role {
+        match v {
+            1 => Role::Data,
+            2 => Role::Parity,
+            3 => Role::Delta,
+            _ => Role::Free,
+        }
+    }
+}
+
+/// Decoded form of one block's metadata record.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BlockRecord {
+    /// Block type.
+    pub role: Role,
+    /// Whether the block's bytes are currently trustworthy (may be false
+    /// transiently during failures, §3.3.1).
+    pub valid: bool,
+    /// Row of the cell within its column (`XOR ID`).
+    pub xor_id: u8,
+    /// KV slot size in 64 B units (the block's size class); 0 when unset.
+    pub slot_len64: u8,
+    /// Owning client id (`CLI ID`).
+    pub cli_id: u32,
+    /// Index Version stamped when the block filled; 0 = unfilled (§3.2.3).
+    pub index_version: u64,
+    /// Stripe array this cell belongs to.
+    pub stripe_array: u64,
+    /// Parity blocks: bit `k` set ⇔ data position `k` encoded (`XOR Map`).
+    pub xor_map: u16,
+    /// Parity blocks: packed address of the DELTA block per data position
+    /// (`Delta Addr`); 0 = none.
+    pub delta_addr: [u64; MAX_POSITIONS],
+    /// Data blocks: obsolete-KV bits (`Free Bitmap`).
+    pub bitmap: Bitmap,
+}
+
+impl BlockRecord {
+    /// A fresh FREE record (bitmap width 0 until a size class is assigned).
+    pub fn free() -> Self {
+        BlockRecord {
+            role: Role::Free,
+            valid: true,
+            xor_id: 0,
+            slot_len64: 0,
+            cli_id: 0,
+            index_version: 0,
+            stripe_array: 0,
+            xor_map: 0,
+            delta_addr: [0; MAX_POSITIONS],
+            bitmap: Bitmap::new(0),
+        }
+    }
+
+    /// Number of KV slots a block of `block_size` has in this size class.
+    pub fn slots(&self, block_size: u64) -> usize {
+        if self.slot_len64 == 0 {
+            0
+        } else {
+            (block_size / (self.slot_len64 as u64 * 64)) as usize
+        }
+    }
+
+    /// Serializes into `RECORD_BYTES` bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = vec![0u8; RECORD_BYTES as usize];
+        b[0] = self.role as u8;
+        b[1] = self.valid as u8;
+        b[2] = self.xor_id;
+        b[3] = self.slot_len64;
+        b[4..8].copy_from_slice(&self.cli_id.to_le_bytes());
+        b[8..16].copy_from_slice(&self.index_version.to_le_bytes());
+        b[16..24].copy_from_slice(&self.stripe_array.to_le_bytes());
+        b[24..26].copy_from_slice(&self.xor_map.to_le_bytes());
+        for (k, a) in self.delta_addr.iter().enumerate() {
+            b[32 + k * 8..40 + k * 8].copy_from_slice(&a.to_le_bytes());
+        }
+        let bm = self.bitmap.as_bytes();
+        assert!(bm.len() <= RECORD_BYTES as usize - BITMAP_OFF);
+        b[BITMAP_OFF..BITMAP_OFF + bm.len()].copy_from_slice(bm);
+        b
+    }
+
+    /// Deserializes from record bytes; `block_size` fixes the bitmap width.
+    pub fn decode(bytes: &[u8], block_size: u64) -> Self {
+        assert!(bytes.len() >= RECORD_BYTES as usize);
+        let slot_len64 = bytes[3];
+        let slots = if slot_len64 == 0 {
+            0
+        } else {
+            (block_size / (slot_len64 as u64 * 64)) as usize
+        };
+        let mut delta_addr = [0u64; MAX_POSITIONS];
+        for (k, a) in delta_addr.iter_mut().enumerate() {
+            *a = u64::from_le_bytes(bytes[32 + k * 8..40 + k * 8].try_into().unwrap());
+        }
+        BlockRecord {
+            role: Role::from_u8(bytes[0]),
+            valid: bytes[1] != 0,
+            xor_id: bytes[2],
+            slot_len64,
+            cli_id: u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
+            index_version: u64::from_le_bytes(bytes[8..16].try_into().unwrap()),
+            stripe_array: u64::from_le_bytes(bytes[16..24].try_into().unwrap()),
+            xor_map: u16::from_le_bytes(bytes[24..26].try_into().unwrap()),
+            delta_addr,
+            bitmap: Bitmap::from_bytes(slots.min(MAX_SLOTS), &bytes[BITMAP_OFF..]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_data_record() {
+        let mut r = BlockRecord::free();
+        r.role = Role::Data;
+        r.xor_id = 2;
+        r.slot_len64 = 16; // 1024 B KVs.
+        r.cli_id = 42;
+        r.index_version = 7;
+        r.stripe_array = 3;
+        r.bitmap = Bitmap::new(64);
+        r.bitmap.set(5, true);
+        r.bitmap.set(63, true);
+        let bytes = r.encode();
+        assert_eq!(bytes.len() as u64, RECORD_BYTES);
+        let d = BlockRecord::decode(&bytes, 64 * 1024);
+        assert_eq!(d, r);
+        assert_eq!(d.slots(64 * 1024), 64);
+    }
+
+    #[test]
+    fn roundtrip_parity_record() {
+        let mut r = BlockRecord::free();
+        r.role = Role::Parity;
+        r.xor_map = 0b101;
+        r.delta_addr[0] = 0xABCD;
+        r.delta_addr[2] = 0x1234;
+        let d = BlockRecord::decode(&r.encode(), 2 << 20);
+        assert_eq!(d.role, Role::Parity);
+        assert_eq!(d.xor_map, 0b101);
+        assert_eq!(d.delta_addr[0], 0xABCD);
+        assert_eq!(d.delta_addr[1], 0);
+        assert_eq!(d.delta_addr[2], 0x1234);
+    }
+
+    #[test]
+    fn free_record_is_all_default() {
+        let d = BlockRecord::decode(&BlockRecord::free().encode(), 2 << 20);
+        assert_eq!(d.role, Role::Free);
+        assert!(d.valid);
+        assert_eq!(d.index_version, 0);
+        assert_eq!(d.slots(2 << 20), 0);
+    }
+
+    #[test]
+    fn bitmap_width_follows_size_class() {
+        let mut r = BlockRecord::free();
+        r.role = Role::Data;
+        r.slot_len64 = 4; // 256 B KVs.
+        r.bitmap = Bitmap::new((2 << 20) / 256);
+        assert_eq!(r.bitmap.len(), 8192);
+        let d = BlockRecord::decode(&r.encode(), 2 << 20);
+        assert_eq!(d.bitmap.len(), 8192);
+    }
+}

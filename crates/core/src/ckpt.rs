@@ -1,0 +1,213 @@
+//! Differential checkpointing of the index (paper §3.2.1, Figure 3).
+//!
+//! Each round, an MN server:
+//!
+//! 1. snapshots its local index (server CPU read; concurrent `RDMA_CAS`
+//!    commits stay word-atomic, so no slot is ever torn),
+//! 2. XORs the snapshot with the previous one to obtain the delta,
+//! 3. LZ-compresses the delta (dominated by zero runs),
+//! 4. ships it to the neighbouring column, which
+//! 5. decompresses and XOR-applies it to its stored copy.
+//!
+//! After the round the sender bumps its **Index Version**; while the live
+//! index is at version `i`, the neighbour's checkpoint is at `i − 1`
+//! (§3.2.3). Rounds are synchronized across the coding group by the store's
+//! tick (the paper's "leading server trigger"), which keeps Index Versions
+//! comparable across MNs.
+
+use aceso_erasure::xor_into;
+use std::time::Instant;
+
+/// Per-step measurements of one checkpoint round (paper Figure 19).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CkptReport {
+    /// Uncompressed index size in bytes.
+    pub raw_len: usize,
+    /// Compressed delta size in bytes.
+    pub compressed_len: usize,
+    /// Snapshot copy + XOR-with-last time (µs) — "Copy&XOR".
+    pub copy_xor_us: f64,
+    /// LZ compression time (µs).
+    pub compress_us: f64,
+    /// Receiver decompression time (µs).
+    pub decompress_us: f64,
+    /// Receiver XOR-apply time (µs).
+    pub apply_xor_us: f64,
+    /// The Index Version this round's checkpoint represents.
+    pub index_version: u64,
+}
+
+/// Sender-side state: the snapshot shipped last round.
+pub struct CkptSender {
+    last: Vec<u8>,
+}
+
+impl CkptSender {
+    /// Starts from an all-zero baseline (the first round ships the full
+    /// index, compressed).
+    pub fn new(index_bytes: usize) -> Self {
+        CkptSender {
+            last: vec![0u8; index_bytes],
+        }
+    }
+
+    /// Re-bases the sender on a known snapshot (recovery: the restored
+    /// index), so the next delta is incremental again.
+    pub fn rebase(&mut self, snapshot: Vec<u8>) {
+        self.last = snapshot;
+    }
+
+    /// Forces the next round to ship the full index (neighbour replaced).
+    pub fn reset_to_full(&mut self) {
+        self.last.fill(0);
+    }
+
+    /// Computes this round's compressed delta from a fresh snapshot.
+    ///
+    /// Returns `(compressed, raw_len, copy_xor_us, compress_us)` and
+    /// retains the snapshot for the next round.
+    pub fn round(&mut self, snapshot: Vec<u8>) -> (Vec<u8>, usize, f64, f64) {
+        let t0 = Instant::now();
+        let mut delta = snapshot.clone();
+        xor_into(&mut delta, &self.last);
+        let copy_xor_us = t0.elapsed().as_secs_f64() * 1e6;
+
+        let t1 = Instant::now();
+        let compressed = aceso_codec::compress(&delta);
+        let compress_us = t1.elapsed().as_secs_f64() * 1e6;
+
+        let raw_len = snapshot.len();
+        self.last = snapshot;
+        (compressed, raw_len, copy_xor_us, compress_us)
+    }
+}
+
+/// Receiver-side state: the reconstructed checkpoint of one neighbour.
+pub struct CkptReceiver {
+    /// The neighbour's index bytes as of its last round.
+    pub data: Vec<u8>,
+    /// Index Version of the held checkpoint.
+    pub index_version: u64,
+}
+
+impl CkptReceiver {
+    /// Starts from zeros (matching the sender's zero baseline).
+    pub fn new(index_bytes: usize) -> Self {
+        CkptReceiver {
+            data: vec![0u8; index_bytes],
+            index_version: 0,
+        }
+    }
+
+    /// Applies one received delta. Returns `(decompress_us, xor_us)`.
+    pub fn apply(
+        &mut self,
+        compressed: &[u8],
+        raw_len: usize,
+        index_version: u64,
+    ) -> Result<(f64, f64), aceso_codec::CodecError> {
+        let t0 = Instant::now();
+        let delta = aceso_codec::decompress(compressed, raw_len)?;
+        let decompress_us = t0.elapsed().as_secs_f64() * 1e6;
+
+        let t1 = Instant::now();
+        if self.data.len() != delta.len() {
+            // Neighbour geometry changed: adopt the delta as a full image.
+            self.data = delta;
+        } else {
+            xor_into(&mut self.data, &delta);
+        }
+        let xor_us = t1.elapsed().as_secs_f64() * 1e6;
+        self.index_version = index_version;
+        Ok((decompress_us, xor_us))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn snap(len: usize, stamp: u8) -> Vec<u8> {
+        let mut v = vec![0u8; len];
+        for i in (0..len).step_by(97) {
+            v[i] = stamp;
+        }
+        v
+    }
+
+    #[test]
+    fn sender_receiver_converge() {
+        let len = 4096;
+        let mut tx = CkptSender::new(len);
+        let mut rx = CkptReceiver::new(len);
+        for round in 1..=5u8 {
+            let s = snap(len, round);
+            let (comp, raw, _, _) = tx.round(s.clone());
+            rx.apply(&comp, raw, round as u64).unwrap();
+            assert_eq!(rx.data, s, "round {round}");
+            assert_eq!(rx.index_version, round as u64);
+        }
+    }
+
+    #[test]
+    fn deltas_shrink_when_index_is_stable() {
+        // A dense (poorly compressible) first snapshot…
+        let len = 1 << 16;
+        let mut tx = CkptSender::new(len);
+        let mut x = 1u64;
+        let s1: Vec<u8> = (0..len)
+            .map(|_| {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (x >> 33) as u8
+            })
+            .collect();
+        let (full, _, _, _) = tx.round(s1.clone());
+        assert!(full.len() > len / 2, "dense snapshot should not collapse");
+        // …then a round where only one byte changed: tiny delta.
+        let mut s2 = s1;
+        s2[1234] ^= 0xFF;
+        let (delta, _, _, _) = tx.round(s2);
+        assert!(delta.len() < full.len() / 100);
+        assert!(
+            delta.len() < 1024,
+            "near-empty delta should be tiny: {}",
+            delta.len()
+        );
+    }
+
+    #[test]
+    fn reset_to_full_ships_everything() {
+        let len = 4096;
+        let mut tx = CkptSender::new(len);
+        let mut rx = CkptReceiver::new(len);
+        let s = snap(len, 3);
+        let (c, r, _, _) = tx.round(s.clone());
+        rx.apply(&c, r, 1).unwrap();
+
+        // Fresh receiver (replacement neighbour) + full resend.
+        let mut rx2 = CkptReceiver::new(len);
+        tx.reset_to_full();
+        let s2 = snap(len, 4);
+        let (c2, r2, _, _) = tx.round(s2.clone());
+        rx2.apply(&c2, r2, 2).unwrap();
+        assert_eq!(rx2.data, s2);
+    }
+
+    #[test]
+    fn rebase_keeps_deltas_small_after_recovery() {
+        let len = 4096;
+        let mut tx = CkptSender::new(len);
+        let restored = snap(len, 9);
+        tx.rebase(restored.clone());
+        let mut next = restored;
+        next[7] ^= 1;
+        let (c, _, _, _) = tx.round(next);
+        assert!(c.len() < 256);
+    }
+
+    #[test]
+    fn corrupt_delta_is_an_error() {
+        let mut rx = CkptReceiver::new(64);
+        assert!(rx.apply(&[1, 2, 3], 64, 1).is_err());
+    }
+}

@@ -1,0 +1,1148 @@
+//! The Aceso client: INSERT / UPDATE / SEARCH / DELETE over one-sided verbs.
+//!
+//! Clients execute every KV request without involving MN CPUs (§3.1):
+//!
+//! * **Commits** follow Algorithm 1 (slot versioning): one `RDMA_CAS` on the
+//!   slot's Atomic word is the commit point; every 256th update to a slot
+//!   additionally walks the Meta-epoch lock protocol; lost races invalidate
+//!   the orphaned KV pair by stamping Slot Version −1.
+//! * **Writes** append the KV pair to the client's open DATA block and its
+//!   XOR delta to the two DELTA blocks on the parity-holding MNs, all in one
+//!   doorbell batch (§3.3.2).
+//! * **Reads** go through the local index cache, which stores both the slot
+//!   *value* and the slot *address*, so a hit costs one batched round trip
+//!   of `KV read + 16 B slot re-read` (§3.5.1).
+//! * **Degraded reads** reconstruct just the needed slot range from one
+//!   X-Code parity chain when the block's MN is down (§3.4.1).
+//!
+//! A client is owned by one thread, mirroring one client coroutine of the
+//! paper's testbed.
+
+use crate::config::{pack_col, unpack_col, ClientTuning, MemoryMap};
+use crate::kv::{self, INVALID_SLOT_VERSION, SLOT_VER_OFF};
+use crate::proto::{ServerReq, ServerResp};
+use crate::server::Directory;
+use crate::{Result, StoreError};
+use aceso_blockalloc::{BlockId, BlockRecord, CellKind};
+use aceso_erasure::{xor_into, XCode};
+use aceso_index::slot::slot_version;
+use aceso_index::{fingerprint, route_hash, RemoteIndex, SlotAtomic, SlotMeta};
+use aceso_rdma::{Cluster, DmClient, GlobalAddr, OpKind, RdmaError};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Fault-injection points for crash-consistency tests.
+#[doc(hidden)]
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CrashPoint {
+    /// Crash after writing the KV slot but before the delta slots.
+    AfterKvWrite,
+    /// Crash after KV + delta writes, before the commit CAS.
+    BeforeCommit,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct DeltaRef {
+    col: usize,
+    block_off: u64,
+    parity_row: usize,
+}
+
+struct OpenBlock {
+    col: usize,
+    block: BlockId,
+    array: u64,
+    row: usize,
+    block_off: u64,
+    slot_bytes: usize,
+    fill_order: Vec<u32>,
+    next: usize,
+    deltas: [DeltaRef; 2],
+    old_copy: Option<Vec<u8>>,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct CacheEntry {
+    slot_addr: GlobalAddr,
+    atomic: SlotAtomic,
+    meta: SlotMeta,
+    tombstone: bool,
+}
+
+struct SlotPlace {
+    col: usize,
+    kv_off: u64,
+    slot_bytes: usize,
+    packed: u64,
+    deltas: [(usize, u64); 2],
+    old_slot: Option<Vec<u8>>,
+    block: BlockId,
+}
+
+/// A client endpoint of the Aceso store.
+pub struct AcesoClient {
+    cluster: Arc<Cluster>,
+    dir: Arc<Directory>,
+    map: MemoryMap,
+    xcode: XCode,
+    /// The underlying fabric client (benches read its profiles).
+    pub dm: DmClient,
+    cli_id: u32,
+    tuning: ClientTuning,
+    bitmap_flush_every: usize,
+    blocks: HashMap<u8, OpenBlock>,
+    cache: HashMap<Vec<u8>, CacheEntry>,
+    pending_bits: HashMap<(usize, BlockId), Vec<u32>>,
+    pending_count: usize,
+    alloc_rr: usize,
+    #[doc(hidden)]
+    pub crash_point: Option<CrashPoint>,
+}
+
+impl AcesoClient {
+    /// Creates a client (used by `AcesoStore::client`).
+    pub(crate) fn new(
+        cluster: Arc<Cluster>,
+        dir: Arc<Directory>,
+        map: MemoryMap,
+        cli_id: u32,
+        tuning: ClientTuning,
+        bitmap_flush_every: usize,
+    ) -> Self {
+        let n = map.blocks.n;
+        AcesoClient {
+            dm: cluster.client(),
+            cluster,
+            dir,
+            map,
+            xcode: XCode::new(n).expect("validated by config"),
+            cli_id,
+            tuning,
+            bitmap_flush_every,
+            blocks: HashMap::new(),
+            cache: HashMap::new(),
+            pending_bits: HashMap::new(),
+            pending_count: 0,
+            alloc_rr: cli_id as usize,
+            crash_point: None,
+        }
+    }
+
+    /// This client's id (CLI ID in block records).
+    pub fn id(&self) -> u32 {
+        self.cli_id
+    }
+
+    /// Adjusts feature switches (factor analysis).
+    pub fn set_tuning(&mut self, tuning: ClientTuning) {
+        self.tuning = tuning;
+        if !tuning.use_cache {
+            self.cache.clear();
+        }
+    }
+
+    #[inline]
+    fn n(&self) -> usize {
+        self.map.blocks.n
+    }
+
+    #[inline]
+    fn addr(&self, col: usize, off: u64) -> GlobalAddr {
+        GlobalAddr::new(self.dir.node_of(col), off)
+    }
+
+    fn index_of(&self, key: &[u8]) -> (usize, RemoteIndex) {
+        let col = (route_hash(key) % self.n() as u64) as usize;
+        (col, RemoteIndex::new(self.dir.node_of(col), self.map.index))
+    }
+
+    fn rpc(&self, col: usize, req: ServerReq, bytes: usize) -> Result<ServerResp> {
+        Ok(self
+            .dm
+            .rpc(self.dir.node_of(col), &self.dir.rpc_of(col), req, bytes)?)
+    }
+
+    // ---- Public API -----------------------------------------------------
+
+    /// Inserts (or overwrites) `key` with `value`.
+    pub fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.dm.begin_op();
+        let r = self.upsert(key, value, false, true);
+        self.finish_op(&r, OpKind::Insert);
+        r.map(|_| ())
+    }
+
+    /// Updates an existing key; `NotFound` if absent.
+    pub fn update(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        self.dm.begin_op();
+        let r = self.upsert(key, value, false, false);
+        self.finish_op(&r, OpKind::Update);
+        r.map(|_| ())
+    }
+
+    /// Deletes a key by committing a tombstone; returns whether it existed.
+    pub fn delete(&mut self, key: &[u8]) -> Result<bool> {
+        self.dm.begin_op();
+        let r = self.upsert(key, b"", true, false);
+        match r {
+            Ok(()) => {
+                self.dm.end_op(OpKind::Delete);
+                Ok(true)
+            }
+            Err(StoreError::NotFound) => {
+                self.dm.end_op(OpKind::Delete);
+                Ok(false)
+            }
+            Err(e) => {
+                self.dm.abort_op();
+                Err(e)
+            }
+        }
+    }
+
+    /// Point lookup.
+    pub fn search(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        self.dm.begin_op();
+        let r = self.search_inner(key);
+        self.finish_op(&r, OpKind::Search);
+        r
+    }
+
+    /// Flushes buffered obsolete-KV bits to the MN servers.
+    pub fn flush_bitmaps(&mut self) -> Result<()> {
+        let pending = std::mem::take(&mut self.pending_bits);
+        self.pending_count = 0;
+        let mut by_col: HashMap<usize, Vec<(BlockId, Vec<u32>)>> = HashMap::new();
+        for ((col, block), slots) in pending {
+            by_col.entry(col).or_default().push((block, slots));
+        }
+        for (col, updates) in by_col {
+            let bytes = 16 * updates.len() + 64;
+            self.rpc(col, ServerReq::BitmapFlush { updates }, bytes)?
+                .expect_ok()?;
+        }
+        Ok(())
+    }
+
+    /// Drops the local index cache (tests and factor analysis).
+    pub fn clear_cache(&mut self) {
+        self.cache.clear();
+    }
+
+    fn finish_op<T>(&self, r: &Result<T>, kind: OpKind) {
+        match r {
+            Ok(_) => self.dm.end_op(kind),
+            Err(_) => self.dm.abort_op(),
+        }
+    }
+
+    // ---- SEARCH ---------------------------------------------------------
+
+    fn search_inner(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let fp = fingerprint(key);
+        if self.tuning.use_cache {
+            if let Some(entry) = self.cache.get(key).copied() {
+                if self.tuning.cache_slot_addr {
+                    match self.search_via_cache(key, fp, entry)? {
+                        Some(found) => return Ok(found),
+                        None => {} // Fall through to a full query.
+                    }
+                } else if let Some(found) = self.search_value_cache(key, fp, entry)? {
+                    return Ok(found);
+                }
+            }
+        }
+        self.search_query(key, fp)
+    }
+
+    /// Full Aceso cache hit: batched `KV read + slot re-read` (§3.5.1).
+    /// Outer `None` means the cache entry was unusable (fall back).
+    fn search_via_cache(
+        &mut self,
+        key: &[u8],
+        fp: u8,
+        entry: CacheEntry,
+    ) -> Result<Option<Option<Vec<u8>>>> {
+        let len = (entry.meta.len64.max(1) as usize) * 64;
+        let (kv_col, kv_off) = unpack_col(entry.atomic.addr48);
+        let mut kv_buf: Result<Vec<u8>> = Ok(Vec::new());
+        let mut slot: Result<_> = Err(StoreError::NotFound);
+        self.dm.batch(|dm| {
+            kv_buf = dm
+                .read_vec(self.addr(kv_col, kv_off), len)
+                .map_err(StoreError::from);
+            slot = RemoteIndex::new(entry.slot_addr.node, self.map.index)
+                .read_slot(dm, entry.slot_addr)
+                .map_err(StoreError::from);
+        });
+        let Ok(slot) = slot else {
+            // Index MN unreachable (mid-recovery): drop entry, full query.
+            self.cache.remove(key);
+            return Ok(None);
+        };
+        if slot.atomic == entry.atomic {
+            let value = match kv_buf {
+                Ok(buf) => match kv::decode(&buf) {
+                    Some(d) if d.key == key => self.value_of(d),
+                    _ => Some(self.fetch_kv_degraded(kv_col, kv_off, len, key)?),
+                },
+                Err(_) => Some(self.fetch_kv_degraded(kv_col, kv_off, len, key)?),
+            };
+            return Ok(Some(value.and_then(|v| v)));
+        }
+        // Slot changed: chase the new pointer if it still matches this key.
+        if !slot.atomic.is_empty() && slot.atomic.fp == fp {
+            let v = self.read_and_verify(slot.atomic, slot.meta, key)?;
+            if let Some(val) = v {
+                self.cache.insert(
+                    key.to_vec(),
+                    CacheEntry {
+                        slot_addr: entry.slot_addr,
+                        atomic: slot.atomic,
+                        meta: slot.meta,
+                        tombstone: val.is_none(),
+                    },
+                );
+                return Ok(Some(val));
+            }
+        }
+        self.cache.remove(key);
+        Ok(None)
+    }
+
+    /// FUSEE-style value-only cache (factor analysis baseline): the slot
+    /// address is unknown, so validation re-reads the key's buckets.
+    fn search_value_cache(
+        &mut self,
+        key: &[u8],
+        fp: u8,
+        entry: CacheEntry,
+    ) -> Result<Option<Option<Vec<u8>>>> {
+        let len = (entry.meta.len64.max(1) as usize) * 64;
+        let (kv_col, kv_off) = unpack_col(entry.atomic.addr48);
+        let (_, index) = self.index_of(key);
+        let mut kv_buf: Result<Vec<u8>> = Ok(Vec::new());
+        let mut scan = Err(StoreError::NotFound);
+        self.dm.batch(|dm| {
+            kv_buf = dm
+                .read_vec(self.addr(kv_col, kv_off), len)
+                .map_err(StoreError::from);
+            scan = index.scan(dm, key, fp).map_err(StoreError::from);
+        });
+        let Ok(scan) = scan else {
+            self.cache.remove(key);
+            return Ok(None);
+        };
+        for cand in &scan.matches {
+            if cand.atomic.addr48 == entry.atomic.addr48 {
+                // Cache still current.
+                if let Ok(buf) = &kv_buf {
+                    if let Some(d) = kv::decode(buf) {
+                        if d.key == key {
+                            return Ok(Some(self.value_of(d).and_then(|v| v)));
+                        }
+                    }
+                }
+                let v = self.fetch_kv_degraded(kv_col, kv_off, len, key)?;
+                return Ok(Some(v));
+            }
+        }
+        self.cache.remove(key);
+        // Use the fresh scan directly rather than re-scanning.
+        self.search_candidates(key, scan.matches).map(Some)
+    }
+
+    fn search_query(&mut self, key: &[u8], fp: u8) -> Result<Option<Vec<u8>>> {
+        let (_, index) = self.index_of(key);
+        let scan = self.with_index_retry(|dm| index.scan(dm, key, fp))?;
+        self.search_candidates(key, scan.matches)
+    }
+
+    fn search_candidates(
+        &mut self,
+        key: &[u8],
+        candidates: Vec<aceso_index::SlotRef>,
+    ) -> Result<Option<Vec<u8>>> {
+        for cand in candidates {
+            if let Some(val) = self.read_and_verify(cand.atomic, cand.meta, key)? {
+                if self.tuning.use_cache {
+                    self.cache.insert(
+                        key.to_vec(),
+                        CacheEntry {
+                            slot_addr: cand.addr,
+                            atomic: cand.atomic,
+                            meta: cand.meta,
+                            tombstone: val.is_none(),
+                        },
+                    );
+                }
+                return Ok(val);
+            }
+        }
+        Ok(None)
+    }
+
+    /// Reads the KV a slot points at and verifies the key. Returns
+    /// `None` if the KV belongs to a different key (fingerprint collision);
+    /// `Some(None)` for a tombstone; `Some(Some(v))` for a live value.
+    #[allow(clippy::type_complexity)]
+    fn read_and_verify(
+        &mut self,
+        atomic: SlotAtomic,
+        meta: SlotMeta,
+        key: &[u8],
+    ) -> Result<Option<Option<Vec<u8>>>> {
+        let (col, off) = unpack_col(atomic.addr48);
+        let hint = (meta.len64.max(4) as usize) * 64;
+        match self.dm.read_vec(self.addr(col, off), hint) {
+            Ok(buf) => {
+                if let Some(d) = kv::decode(&buf) {
+                    if d.key != key {
+                        return Ok(None);
+                    }
+                    if d.is_invalidated() {
+                        return Ok(None);
+                    }
+                    return Ok(Some(self.value_of(d).and_then(|v| v)));
+                }
+                // Truncated read (stale len64)? Retry with the header's own
+                // sizes if they look plausible.
+                if buf.len() >= kv::KV_HEADER {
+                    let klen = u16::from_le_bytes(buf[2..4].try_into().unwrap()) as usize;
+                    let vlen = u32::from_le_bytes(buf[4..8].try_into().unwrap()) as usize;
+                    let need = kv::KV_HEADER + klen + vlen + 1;
+                    if buf[0] != 0 && need > hint && need <= (u8::MAX as usize) * 64 {
+                        let class = kv::class_for(klen, vlen)?;
+                        let full = self.dm.read_vec(self.addr(col, off), class as usize * 64)?;
+                        if let Some(d) = kv::decode(&full) {
+                            if d.key == key && !d.is_invalidated() {
+                                return Ok(Some(self.value_of(d).and_then(|v| v)));
+                            }
+                        }
+                        return Ok(None);
+                    }
+                }
+                // Unreadable content on a reachable node: likely an
+                // unrecovered block on a replacement MN → degraded read.
+                let v = self.fetch_kv_degraded(col, off, hint, key)?;
+                Ok(Some(v))
+            }
+            Err(RdmaError::NodeUnreachable(_)) => {
+                let v = self.fetch_kv_degraded(col, off, hint, key)?;
+                Ok(Some(v))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn value_of(&self, d: kv::DecodedKv<'_>) -> Option<Option<Vec<u8>>> {
+        if d.tombstone {
+            Some(None)
+        } else {
+            Some(Some(d.value.to_vec()))
+        }
+    }
+
+    // ---- Degraded SEARCH (§3.4.1) ----------------------------------------
+
+    /// Reconstructs the slot-range bytes of a KV whose block is unavailable,
+    /// by XORing the same byte range of one parity chain (plus deltas).
+    fn fetch_kv_degraded(
+        &mut self,
+        col: usize,
+        off: u64,
+        len: usize,
+        key: &[u8],
+    ) -> Result<Option<Vec<u8>>> {
+        let buf = self.reconstruct_range(col, off, len)?;
+        match kv::decode(&buf) {
+            Some(d) if d.key == key && !d.is_invalidated() => Ok(self.value_of(d).and_then(|v| v)),
+            _ => Ok(None),
+        }
+    }
+
+    /// Range-limited X-Code reconstruction:
+    /// `C_t = P ⊕ ⊕_{k≠t, encoded}(C_k ⊕ D_k) ⊕ D_t` over one chain.
+    fn reconstruct_range(&mut self, col: usize, off: u64, len: usize) -> Result<Vec<u8>> {
+        let (block, within) = self.map.blocks.locate(off).ok_or(StoreError::NotFound)?;
+        let CellKind::Data { array, row } = self.map.blocks.kind_of(block) else {
+            return Err(StoreError::NotFound);
+        };
+        let (diag, anti) = self.xcode.parity_cells_for(row, col);
+        let mut last_err = StoreError::NotFound;
+        for (prow, pcol) in [diag, anti] {
+            match self.reconstruct_via_chain(array, row, prow, pcol, within, len) {
+                Ok(buf) => return Ok(buf),
+                Err(e) => last_err = e,
+            }
+        }
+        Err(last_err)
+    }
+
+    fn reconstruct_via_chain(
+        &mut self,
+        array: u64,
+        row: usize,
+        parity_row: usize,
+        parity_col: usize,
+        within: u64,
+        len: usize,
+    ) -> Result<Vec<u8>> {
+        let pid = self.map.blocks.cell_block_id(array, parity_row);
+        let resp = self.rpc(parity_col, ServerReq::GetRecord { block: pid }, 16)?;
+        let ServerResp::Record { bytes } = resp else {
+            return Err(StoreError::NotFound);
+        };
+        let prec = BlockRecord::decode(&bytes, self.map.blocks.block_size);
+
+        let eq = self
+            .xcode
+            .equations()
+            .into_iter()
+            .find(|e| e.parity_row == parity_row && e.parity_col == parity_col)
+            .expect("chain equation exists");
+
+        let mut acc = vec![0u8; len];
+        let target_encoded = prec.xor_map & (1 << row) != 0;
+        if target_encoded {
+            let poff = self.map.blocks.block_offset(pid) + within;
+            let p = self.dm.read_vec(self.addr(parity_col, poff), len)?;
+            xor_into(&mut acc, &p);
+            for &(r, c) in &eq.data {
+                if r == row {
+                    continue;
+                }
+                if prec.xor_map & (1 << r) != 0 {
+                    let cid = self.map.blocks.cell_block_id(array, r);
+                    let coff = self.map.blocks.block_offset(cid) + within;
+                    let cbuf = self.dm.read_vec(self.addr(c, coff), len)?;
+                    xor_into(&mut acc, &cbuf);
+                    if prec.delta_addr[r] != 0 {
+                        let (dc, doff) = unpack_col(prec.delta_addr[r]);
+                        let dbuf = self.dm.read_vec(self.addr(dc, doff + within), len)?;
+                        xor_into(&mut acc, &dbuf);
+                    }
+                }
+            }
+        }
+        if prec.delta_addr[row] != 0 {
+            let (dc, doff) = unpack_col(prec.delta_addr[row]);
+            let dbuf = self.dm.read_vec(self.addr(dc, doff + within), len)?;
+            xor_into(&mut acc, &dbuf);
+        }
+        Ok(acc)
+    }
+
+    // ---- Write path (Algorithm 1) ----------------------------------------
+
+    fn upsert(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        tombstone: bool,
+        allow_insert: bool,
+    ) -> Result<()> {
+        if key.is_empty() {
+            return Err(StoreError::TooLarge);
+        }
+        let fp = fingerprint(key);
+        let class = kv::class_for(key.len(), value.len())?;
+
+        for _attempt in 0..self.tuning.max_retries {
+            // Re-resolve the index partition each attempt: the column may
+            // have moved to a replacement MN mid-recovery.
+            let (_, index) = self.index_of(key);
+            // Locate the slot (cache first, then scan + verify).
+            let outcome = (|| -> Result<CommitOutcome> {
+                match self.locate_slot(&index, key, fp)? {
+                    Located::Existing(slot_addr, atomic, meta, was_tombstone) => {
+                        if was_tombstone && !allow_insert {
+                            // UPDATE/DELETE of a deleted key.
+                            return Err(StoreError::NotFound);
+                        }
+                        self.commit_update(
+                            &index, key, value, tombstone, fp, class, slot_addr, atomic, meta,
+                        )
+                    }
+                    Located::Absent(empties) => {
+                        if !allow_insert {
+                            return Err(StoreError::NotFound);
+                        }
+                        let Some(target) = empties.first().copied() else {
+                            return Err(StoreError::IndexFull);
+                        };
+                        self.commit_insert(&index, key, value, tombstone, fp, class, target)
+                    }
+                }
+            })();
+            match outcome {
+                Ok(CommitOutcome::Done) => return Ok(()),
+                Ok(CommitOutcome::Retry) => {
+                    self.dm.note_retry();
+                }
+                Err(StoreError::Rdma(RdmaError::NodeUnreachable(_))) => {
+                    // Mid-recovery: wait for the replacement to publish.
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    self.dm.note_retry();
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(StoreError::RetriesExhausted)
+    }
+
+    fn locate_slot(&mut self, index: &RemoteIndex, key: &[u8], fp: u8) -> Result<Located> {
+        if self.tuning.use_cache && self.tuning.cache_slot_addr {
+            if let Some(e) = self.cache.get(key).copied() {
+                // Re-read the slot: commits need fresh Atomic/Meta words.
+                match self.with_index_retry(|dm| index.read_slot(dm, e.slot_addr)) {
+                    Ok(s) if s.atomic == e.atomic => {
+                        // Unchanged since we cached it: the tombstone state
+                        // is known without touching the KV.
+                        return Ok(Located::Existing(s.addr, s.atomic, s.meta, e.tombstone));
+                    }
+                    Ok(s) if !s.atomic.is_empty() && s.atomic.fp == fp => {
+                        // Same slot, new KV: verify it is still our key.
+                        if let Some((verified, tomb)) = self.verify_kv(s.atomic, s.meta, key)? {
+                            if verified {
+                                return Ok(Located::Existing(s.addr, s.atomic, s.meta, tomb));
+                            }
+                        }
+                        self.cache.remove(key);
+                    }
+                    _ => {
+                        self.cache.remove(key);
+                    }
+                }
+            }
+        }
+        let scan = self.with_index_retry(|dm| index.scan(dm, key, fp))?;
+        for cand in &scan.matches {
+            if let Some((true, tomb)) = self.verify_kv(cand.atomic, cand.meta, key)? {
+                return Ok(Located::Existing(cand.addr, cand.atomic, cand.meta, tomb));
+            }
+        }
+        Ok(Located::Absent(scan.empties))
+    }
+
+    /// Reads the KV a slot points at; returns `Some((key_matches,
+    /// is_tombstone))`, or `None` when the KV is unreadable even via
+    /// reconstruction.
+    fn verify_kv(
+        &mut self,
+        atomic: SlotAtomic,
+        meta: SlotMeta,
+        key: &[u8],
+    ) -> Result<Option<(bool, bool)>> {
+        let (col, off) = unpack_col(atomic.addr48);
+        let hint = (meta.len64.max(4) as usize) * 64;
+        let direct = match self.dm.read_vec(self.addr(col, off), hint) {
+            Ok(buf) => kv::decode(&buf).map(|d| (d.key == key, d.tombstone)),
+            Err(RdmaError::NodeUnreachable(_)) => None,
+            Err(e) => return Err(e.into()),
+        };
+        if direct.is_some() {
+            return Ok(direct);
+        }
+        // Unrecovered or unreachable block: reconstruct the range.
+        Ok(self
+            .reconstruct_range(col, off, hint)
+            .ok()
+            .and_then(|b| kv::decode(&b).map(|d| (d.key == key, d.tombstone))))
+    }
+
+    /// One committed update attempt per Algorithm 1.
+    #[allow(clippy::too_many_arguments)]
+    fn commit_update(
+        &mut self,
+        index: &RemoteIndex,
+        key: &[u8],
+        value: &[u8],
+        tombstone: bool,
+        fp: u8,
+        class: u8,
+        slot_addr: GlobalAddr,
+        atomic: SlotAtomic,
+        mut meta: SlotMeta,
+    ) -> Result<CommitOutcome> {
+        // Meta locked by another client: wait briefly, then break the lock
+        // (its holder may have crashed), per §3.2.2 remark 2.
+        let mut lock_pair: Option<(SlotMeta, SlotMeta)> = None;
+        if meta.is_locked() {
+            let mut spins = 0;
+            loop {
+                let s = index.read_slot(&self.dm, slot_addr)?;
+                meta = s.meta;
+                if !meta.is_locked() {
+                    return Ok(CommitOutcome::Retry); // Re-locate with fresh state.
+                }
+                spins += 1;
+                if spins >= 50 {
+                    // Break: re-lock at the next odd epoch.
+                    let relock = SlotMeta {
+                        len64: meta.len64,
+                        epoch: meta.epoch + 2,
+                    };
+                    let seen = index.cas_meta(&self.dm, slot_addr, meta, relock)?;
+                    if seen != meta {
+                        return Ok(CommitOutcome::Retry);
+                    }
+                    let unlocked = SlotMeta {
+                        len64: relock.len64,
+                        epoch: relock.epoch + 1,
+                    };
+                    lock_pair = Some((relock, unlocked));
+                    break;
+                }
+                std::hint::spin_loop();
+            }
+        } else if atomic.ver == 0xFF {
+            // Version rollover: lock the Meta (Algorithm 1 lines 7–13).
+            let locked = SlotMeta {
+                len64: meta.len64,
+                epoch: meta.epoch + 1,
+            };
+            let seen = index.cas_meta(&self.dm, slot_addr, meta, locked)?;
+            if seen != meta {
+                return Ok(CommitOutcome::Retry);
+            }
+            let unlocked = SlotMeta {
+                len64: locked.len64,
+                epoch: locked.epoch + 1,
+            };
+            lock_pair = Some((locked, unlocked));
+        }
+
+        let commit_epoch = match &lock_pair {
+            Some((_, unlocked)) => unlocked.epoch,
+            None => meta.epoch,
+        };
+        let new_ver = atomic.ver.wrapping_add(1);
+        let sv = slot_version(commit_epoch, new_ver);
+
+        let place = self.alloc_slot(class)?;
+        let wv = self.write_kv(&place, sv, key, value, tombstone)?;
+        let _ = wv;
+
+        let new_atomic = SlotAtomic {
+            fp,
+            addr48: place.packed,
+            ver: new_ver,
+        };
+        let prev = index.cas_atomic(&self.dm, slot_addr, atomic, new_atomic)?;
+        let committed = prev == atomic;
+        if !committed {
+            self.invalidate_kv(&place)?;
+        }
+        if let Some((locked, unlocked)) = lock_pair {
+            // Unlock regardless of commit outcome (Algorithm 1 line 19-20).
+            let _ = index.cas_meta(&self.dm, slot_addr, locked, unlocked)?;
+        }
+        if !committed {
+            return Ok(CommitOutcome::Retry);
+        }
+
+        // Mark the overwritten KV obsolete for delta-based reclamation.
+        self.mark_obsolete(atomic.addr48, meta.len64);
+        // Refresh the advisory length if the size class changed.
+        let new_meta = SlotMeta {
+            len64: class,
+            epoch: commit_epoch,
+        };
+        if meta.len64 != class && lock_pair.is_none() {
+            index.write_meta(&self.dm, slot_addr, new_meta)?;
+        }
+        if self.tuning.use_cache {
+            self.cache.insert(
+                key.to_vec(),
+                CacheEntry {
+                    slot_addr,
+                    atomic: new_atomic,
+                    meta: new_meta,
+                    tombstone,
+                },
+            );
+        }
+        self.maybe_flush()?;
+        Ok(CommitOutcome::Done)
+    }
+
+    fn commit_insert(
+        &mut self,
+        index: &RemoteIndex,
+        key: &[u8],
+        value: &[u8],
+        tombstone: bool,
+        fp: u8,
+        class: u8,
+        target: GlobalAddr,
+    ) -> Result<CommitOutcome> {
+        let sv = slot_version(0, 1);
+        let place = self.alloc_slot(class)?;
+        self.write_kv(&place, sv, key, value, tombstone)?;
+        let new_atomic = SlotAtomic {
+            fp,
+            addr48: place.packed,
+            ver: 1,
+        };
+        let prev = index.cas_atomic(&self.dm, target, SlotAtomic::default(), new_atomic)?;
+        if !prev.is_empty() {
+            self.invalidate_kv(&place)?;
+            return Ok(CommitOutcome::Retry);
+        }
+        let new_meta = SlotMeta {
+            len64: class,
+            epoch: 0,
+        };
+        index.write_meta(&self.dm, target, new_meta)?;
+        if self.tuning.use_cache {
+            self.cache.insert(
+                key.to_vec(),
+                CacheEntry {
+                    slot_addr: target,
+                    atomic: new_atomic,
+                    meta: new_meta,
+                    tombstone,
+                },
+            );
+        }
+        self.maybe_flush()?;
+        Ok(CommitOutcome::Done)
+    }
+
+    /// Writes the KV slot and both delta slots in one doorbell batch.
+    /// Returns the write version used.
+    fn write_kv(
+        &mut self,
+        place: &SlotPlace,
+        sv: u64,
+        key: &[u8],
+        value: &[u8],
+        tombstone: bool,
+    ) -> Result<u8> {
+        let old: &[u8] = place.old_slot.as_deref().unwrap_or(&[]);
+        let old_wv = if old.is_empty() { 0 } else { old[0] };
+        let wv = kv::next_write_version(old_wv);
+
+        let mut buf = vec![0u8; place.slot_bytes];
+        kv::encode(&mut buf, wv, sv, key, value, tombstone);
+        let mut delta = buf.clone();
+        if !old.is_empty() {
+            xor_into(&mut delta, old);
+        }
+
+        let crash = self.crash_point;
+        let mut res: Result<()> = Ok(());
+        self.dm.batch(|dm| {
+            res = (|| -> Result<()> {
+                dm.write(self.addr(place.col, place.kv_off), &buf)?;
+                if crash == Some(CrashPoint::AfterKvWrite) {
+                    return Err(StoreError::Shutdown);
+                }
+                for (dcol, doff) in place.deltas {
+                    dm.write(self.addr(dcol, doff), &delta)?;
+                }
+                if crash == Some(CrashPoint::BeforeCommit) {
+                    return Err(StoreError::Shutdown);
+                }
+                Ok(())
+            })();
+        });
+        res?;
+        Ok(wv)
+    }
+
+    /// Invalidates a lost-race KV: Slot Version ← −1, with matching delta
+    /// fix-ups so parity linearity is preserved (3 inline writes, 1 batch).
+    fn invalidate_kv(&mut self, place: &SlotPlace) -> Result<()> {
+        let old8: [u8; 8] = match &place.old_slot {
+            Some(old) => old[SLOT_VER_OFF..SLOT_VER_OFF + 8].try_into().unwrap(),
+            None => [0u8; 8],
+        };
+        let inval = INVALID_SLOT_VERSION.to_le_bytes();
+        let mut delta8 = inval;
+        for (d, o) in delta8.iter_mut().zip(old8) {
+            *d ^= o;
+        }
+        let mut res: Result<()> = Ok(());
+        self.dm.batch(|dm| {
+            res = (|| -> Result<()> {
+                dm.write_inline(
+                    self.addr(place.col, place.kv_off + SLOT_VER_OFF as u64),
+                    &inval,
+                )?;
+                for (dcol, doff) in place.deltas {
+                    dm.write_inline(self.addr(dcol, doff + SLOT_VER_OFF as u64), &delta8)?;
+                }
+                Ok(())
+            })();
+        });
+        res?;
+        // The slot is consumed but worthless: reclaimable immediately.
+        let slot_idx = self.slot_index_in_block(place);
+        self.pending_bits
+            .entry((place.col, place.block))
+            .or_default()
+            .push(slot_idx);
+        self.pending_count += 1;
+        Ok(())
+    }
+
+    fn slot_index_in_block(&self, place: &SlotPlace) -> u32 {
+        let (_, within) = self
+            .map
+            .blocks
+            .locate(place.kv_off)
+            .expect("kv in block area");
+        (within / place.slot_bytes as u64) as u32
+    }
+
+    fn mark_obsolete(&mut self, packed: u64, len64: u8) {
+        if len64 == 0 {
+            return; // Stale advisory length: skip (bounded leak).
+        }
+        let (col, off) = unpack_col(packed);
+        let Some((block, within)) = self.map.blocks.locate(off) else {
+            return;
+        };
+        let slot = (within / (len64 as u64 * 64)) as u32;
+        self.pending_bits
+            .entry((col, block))
+            .or_default()
+            .push(slot);
+        self.pending_count += 1;
+    }
+
+    fn maybe_flush(&mut self) -> Result<()> {
+        if self.pending_count >= self.bitmap_flush_every {
+            self.flush_bitmaps()?;
+        }
+        Ok(())
+    }
+
+    // ---- Block management -------------------------------------------------
+
+    fn alloc_slot(&mut self, class: u8) -> Result<SlotPlace> {
+        loop {
+            if let Some(ob) = self.blocks.get(&class) {
+                if ob.next < ob.fill_order.len() {
+                    break;
+                }
+                let ob = self.blocks.remove(&class).unwrap();
+                self.close_block(ob)?;
+            } else {
+                let ob = self.open_block(class)?;
+                self.blocks.insert(class, ob);
+            }
+        }
+        let ob = self.blocks.get_mut(&class).unwrap();
+        let slot = ob.fill_order[ob.next] as u64;
+        ob.next += 1;
+        let kv_off = ob.block_off + slot * ob.slot_bytes as u64;
+        let old_slot = ob.old_copy.as_ref().map(|old| {
+            old[(slot as usize) * ob.slot_bytes..(slot as usize + 1) * ob.slot_bytes].to_vec()
+        });
+        let place = SlotPlace {
+            col: ob.col,
+            kv_off,
+            slot_bytes: ob.slot_bytes,
+            packed: pack_col(ob.col, kv_off),
+            deltas: [
+                (
+                    ob.deltas[0].col,
+                    ob.deltas[0].block_off + slot * ob.slot_bytes as u64,
+                ),
+                (
+                    ob.deltas[1].col,
+                    ob.deltas[1].block_off + slot * ob.slot_bytes as u64,
+                ),
+            ],
+            old_slot,
+            block: ob.block,
+        };
+        Ok(place)
+    }
+
+    fn open_block(&mut self, class: u8) -> Result<OpenBlock> {
+        let n = self.n();
+        let mut last_err = StoreError::OutOfBlocks;
+        for t in 0..n {
+            let col = (self.alloc_rr + t) % n;
+            match self.rpc(
+                col,
+                ServerReq::AllocData {
+                    cli_id: self.cli_id,
+                    slot_len64: class,
+                },
+                64,
+            )? {
+                ServerResp::DataAllocated {
+                    block,
+                    array,
+                    row,
+                    reused,
+                    old_bitmap,
+                } => {
+                    self.alloc_rr = (col + 1) % n;
+                    return self.finish_open(col, block, array, row, reused, old_bitmap, class);
+                }
+                ServerResp::Err(_) => {
+                    last_err = StoreError::OutOfBlocks;
+                    continue;
+                }
+                _ => return Err(StoreError::OutOfBlocks),
+            }
+        }
+        Err(last_err)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn finish_open(
+        &mut self,
+        col: usize,
+        block: BlockId,
+        array: u64,
+        row: usize,
+        reused: bool,
+        old_bitmap: Option<Vec<u8>>,
+        class: u8,
+    ) -> Result<OpenBlock> {
+        let bs = self.map.blocks.block_size;
+        let slot_bytes = class as usize * 64;
+        let nslots = (bs / slot_bytes as u64) as usize;
+        let (diag, anti) = self.xcode.parity_cells_for(row, col);
+        let mut deltas = [DeltaRef {
+            col: 0,
+            block_off: 0,
+            parity_row: 0,
+        }; 2];
+        for (i, (prow, pcol)) in [diag, anti].into_iter().enumerate() {
+            let resp = self.rpc(
+                pcol,
+                ServerReq::AllocDelta {
+                    cli_id: self.cli_id,
+                    slot_len64: class,
+                    array,
+                    row,
+                    parity_row: prow,
+                },
+                64,
+            )?;
+            let ServerResp::DeltaAllocated { block: dblock } = resp else {
+                return Err(StoreError::OutOfBlocks);
+            };
+            deltas[i] = DeltaRef {
+                col: pcol,
+                block_off: self.map.blocks.block_offset(dblock),
+                parity_row: prow,
+            };
+        }
+        let block_off = self.map.blocks.block_offset(block);
+        let (fill_order, old_copy) = if reused {
+            let bitmap_bytes = old_bitmap.unwrap_or_default();
+            let bitmap = aceso_blockalloc::Bitmap::from_bytes(nslots, &bitmap_bytes);
+            // Read the whole reused block so overwrites can compute deltas
+            // against the old contents (§3.3.3).
+            let old = self.dm.read_vec(self.addr(col, block_off), bs as usize)?;
+            (bitmap.ones().map(|s| s as u32).collect(), Some(old))
+        } else {
+            ((0..nslots as u32).collect(), None)
+        };
+        Ok(OpenBlock {
+            col,
+            block,
+            array,
+            row,
+            block_off,
+            slot_bytes,
+            fill_order,
+            next: 0,
+            deltas,
+            old_copy,
+        })
+    }
+
+    fn close_block(&mut self, ob: OpenBlock) -> Result<()> {
+        self.rpc(ob.col, ServerReq::DataFilled { block: ob.block }, 16)?
+            .expect_ok()?;
+        for d in ob.deltas {
+            self.rpc(
+                d.col,
+                ServerReq::EncodeDelta {
+                    array: ob.array,
+                    row: ob.row,
+                    parity_row: d.parity_row,
+                },
+                24,
+            )?
+            .expect_ok()?;
+        }
+        Ok(())
+    }
+
+    /// Closes all open blocks (phase end in benches; also used before
+    /// planned shutdown so no block stays unfilled forever).
+    pub fn close_open_blocks(&mut self) -> Result<()> {
+        let classes: Vec<u8> = self.blocks.keys().copied().collect();
+        for c in classes {
+            // Mark the never-written tail slots obsolete so reclamation can
+            // reuse them later.
+            let ob = self.blocks.remove(&c).unwrap();
+            let unwritten: Vec<u32> = ob.fill_order[ob.next..].to_vec();
+            if !unwritten.is_empty() {
+                self.pending_bits
+                    .entry((ob.col, ob.block))
+                    .or_default()
+                    .extend(unwritten);
+                self.pending_count += 1;
+            }
+            self.close_block(ob)?;
+        }
+        self.flush_bitmaps()
+    }
+
+    /// Retries an index operation across a short recovery window: verbs to
+    /// a crashed MN fail until the replacement is published, matching the
+    /// paper's "requests to the affected index range are blocked".
+    fn with_index_retry<T>(
+        &self,
+        mut f: impl FnMut(&DmClient) -> aceso_rdma::Result<T>,
+    ) -> Result<T> {
+        let mut waited = 0u64;
+        loop {
+            match f(&self.dm) {
+                Ok(v) => return Ok(v),
+                Err(RdmaError::NodeUnreachable(_)) if waited < 10_000 => {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    waited += 1;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// The cluster handle (tests, benches).
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.cluster
+    }
+
+    /// The memory map (recovery helpers).
+    pub fn map(&self) -> &MemoryMap {
+        &self.map
+    }
+
+    /// The directory (recovery helpers).
+    pub fn directory(&self) -> &Arc<Directory> {
+        &self.dir
+    }
+}
+
+enum Located {
+    Existing(GlobalAddr, SlotAtomic, SlotMeta, bool),
+    Absent(Vec<GlobalAddr>),
+}
+
+enum CommitOutcome {
+    Done,
+    Retry,
+}

@@ -1,0 +1,220 @@
+//! On-block KV pair format.
+//!
+//! A DATA block of size class `c` is an array of `block_size / (64·c)`
+//! slots. Each slot holds one KV pair:
+//!
+//! ```text
+//! 0        Write Version (u8; 1 ⇄ 2 toggling per overwrite, 0 = never
+//!          written) — §3.4.2
+//! 1        flags (bit 0: tombstone — DELETE writes a zero-length value
+//!          "used solely for logging", §4.2)
+//! 2..4     key length (u16)
+//! 4..8     value length (u32)
+//! 8..16    Slot Version (u64; epoch≪8|ver, u64::MAX = invalidated after a
+//!          lost commit race, Algorithm 1 line 18)
+//! 16..     key bytes, then value bytes
+//! last     Write Version trailer (must equal byte 0 once fully written)
+//! ```
+//!
+//! The header/trailer pair detects torn writes after a client crash: RDMA
+//! writes are delivered in order, so `header == trailer ≠ 0` proves the
+//! whole slot landed. The same format is used for delta slots (a delta is
+//! the XOR of old and new slot contents, so its "fields" are XOR images;
+//! only its header/trailer pair is inspected directly).
+
+use crate::StoreError;
+
+/// Fixed header bytes before the key.
+pub const KV_HEADER: usize = 16;
+/// Byte offset of the Slot Version field (invalidation patches this word).
+pub const SLOT_VER_OFF: usize = 8;
+/// Slot Version value marking an invalidated (lost-race) KV pair.
+pub const INVALID_SLOT_VERSION: u64 = u64::MAX;
+
+/// Smallest size class (in 64 B units) that fits `key_len + val_len`.
+pub fn class_for(key_len: usize, val_len: usize) -> Result<u8, StoreError> {
+    let total = KV_HEADER + key_len + val_len + 1;
+    let class = total.div_ceil(64);
+    if key_len > u16::MAX as usize || class > u8::MAX as usize {
+        return Err(StoreError::TooLarge);
+    }
+    Ok(class as u8)
+}
+
+/// Serializes a KV pair into a zeroed slot buffer of its class size.
+///
+/// # Panics
+///
+/// Panics if the buffer is too small for the pair (class mismatch is a
+/// client bug, not input-dependent).
+pub fn encode(
+    buf: &mut [u8],
+    write_version: u8,
+    slot_version: u64,
+    key: &[u8],
+    value: &[u8],
+    tombstone: bool,
+) {
+    let class_bytes = (KV_HEADER + key.len() + value.len() + 1).div_ceil(64) * 64;
+    assert!(class_bytes <= buf.len(), "slot overflow");
+    debug_assert!(write_version == 1 || write_version == 2);
+    buf.fill(0);
+    buf[0] = write_version;
+    buf[1] = u8::from(tombstone);
+    buf[2..4].copy_from_slice(&(key.len() as u16).to_le_bytes());
+    buf[4..8].copy_from_slice(&(value.len() as u32).to_le_bytes());
+    buf[8..16].copy_from_slice(&slot_version.to_le_bytes());
+    buf[16..16 + key.len()].copy_from_slice(key);
+    buf[16 + key.len()..16 + key.len() + value.len()].copy_from_slice(value);
+    // The trailer sits at the end of the *derived* size class, so readers
+    // that over-fetch still find it.
+    buf[class_bytes - 1] = write_version;
+}
+
+/// A decoded view into a slot buffer.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct DecodedKv<'a> {
+    /// Write Version (1 or 2).
+    pub write_version: u8,
+    /// DELETE tombstone?
+    pub tombstone: bool,
+    /// Logical Slot Version recorded at commit time.
+    pub slot_version: u64,
+    /// Key bytes.
+    pub key: &'a [u8],
+    /// Value bytes.
+    pub value: &'a [u8],
+}
+
+impl DecodedKv<'_> {
+    /// Whether this KV lost its commit race and was invalidated.
+    pub fn is_invalidated(&self) -> bool {
+        self.slot_version == INVALID_SLOT_VERSION
+    }
+}
+
+/// Decodes a slot buffer; `None` if the slot is empty, torn, or malformed.
+///
+/// The buffer may be *longer* than the slot (readers over-fetch when the
+/// advisory length is unknown): the trailer position is derived from the
+/// header's own lengths, which pin the slot's size class.
+pub fn decode(buf: &[u8]) -> Option<DecodedKv<'_>> {
+    if buf.len() < KV_HEADER + 1 {
+        return None;
+    }
+    let wv = buf[0];
+    if wv == 0 || wv > 2 {
+        return None;
+    }
+    let key_len = u16::from_le_bytes(buf[2..4].try_into().unwrap()) as usize;
+    let val_len = u32::from_le_bytes(buf[4..8].try_into().unwrap()) as usize;
+    let class_bytes = (KV_HEADER + key_len + val_len + 1).div_ceil(64) * 64;
+    if class_bytes > buf.len() || buf[class_bytes - 1] != wv {
+        return None;
+    }
+    Some(DecodedKv {
+        write_version: wv,
+        tombstone: buf[1] & 1 == 1,
+        slot_version: u64::from_le_bytes(buf[8..16].try_into().unwrap()),
+        key: &buf[16..16 + key_len],
+        value: &buf[16 + key_len..16 + key_len + val_len],
+    })
+}
+
+/// Whether a slot buffer is *completely* written (header/trailer agree and
+/// are non-zero). Used on raw delta slots too, where field decoding is
+/// meaningless.
+pub fn is_complete(buf: &[u8]) -> bool {
+    !buf.is_empty() && buf[0] != 0 && buf[0] == buf[buf.len() - 1]
+}
+
+/// The next write version after `old` (0 → 1 → 2 → 1 …).
+pub fn next_write_version(old: u8) -> u8 {
+    if old == 1 {
+        2
+    } else {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        // Exact class-size buffer ("key" + "value bytes" → one 64 B unit).
+        let mut buf = vec![0u8; 64];
+        encode(&mut buf, 1, 0x1234, b"key", b"value bytes", false);
+        let d = decode(&buf).unwrap();
+        assert_eq!(d.write_version, 1);
+        assert!(!d.tombstone);
+        assert_eq!(d.slot_version, 0x1234);
+        assert_eq!(d.key, b"key");
+        assert_eq!(d.value, b"value bytes");
+        assert!(!d.is_invalidated());
+        assert!(is_complete(&buf));
+    }
+
+    #[test]
+    fn tombstone_roundtrip() {
+        let mut buf = vec![0u8; 64];
+        encode(&mut buf, 2, 7, b"gone", b"", true);
+        let d = decode(&buf).unwrap();
+        assert!(d.tombstone);
+        assert!(d.value.is_empty());
+    }
+
+    #[test]
+    fn empty_slot_decodes_none() {
+        assert!(decode(&[0u8; 64]).is_none());
+        assert!(!is_complete(&[0u8; 64]));
+    }
+
+    #[test]
+    fn torn_write_detected() {
+        let mut buf = vec![0u8; 64];
+        encode(&mut buf, 1, 3, b"k", b"v", false);
+        let last = buf.len() - 1;
+        buf[last] = 0; // Trailer never landed.
+        assert!(decode(&buf).is_none());
+        assert!(!is_complete(&buf));
+        buf[last] = 2; // Trailer from a different write.
+        assert!(decode(&buf).is_none());
+    }
+
+    #[test]
+    fn invalidation_marks() {
+        let mut buf = vec![0u8; 64];
+        encode(&mut buf, 1, 5, b"k", b"v", false);
+        buf[SLOT_VER_OFF..SLOT_VER_OFF + 8].copy_from_slice(&INVALID_SLOT_VERSION.to_le_bytes());
+        let d = decode(&buf).unwrap();
+        assert!(d.is_invalidated());
+    }
+
+    #[test]
+    fn class_for_sizes() {
+        // 16 + 3 + 44 + 1 = 64 → one unit.
+        assert_eq!(class_for(3, 44).unwrap(), 1);
+        assert_eq!(class_for(3, 45).unwrap(), 2);
+        // The paper's 1024 B KV (12 B key): 16+12+996+1 = 1025 → 17 units.
+        assert_eq!(class_for(12, 996).unwrap(), 17);
+        assert!(class_for(100_000, 0).is_err());
+        assert!(class_for(8, 20_000).is_err());
+    }
+
+    #[test]
+    fn malformed_lengths_rejected() {
+        let mut buf = vec![0u8; 64];
+        encode(&mut buf, 1, 1, b"abc", b"xy", false);
+        buf[4..8].copy_from_slice(&1000u32.to_le_bytes()); // Lie about val_len.
+        assert!(decode(&buf).is_none());
+    }
+
+    #[test]
+    fn write_version_toggles() {
+        assert_eq!(next_write_version(0), 1);
+        assert_eq!(next_write_version(1), 2);
+        assert_eq!(next_write_version(2), 1);
+    }
+}

@@ -1,0 +1,188 @@
+//! Client ↔ MN-server RPC protocol.
+//!
+//! RPC is deliberately coarse-grained and off the critical path (§3.1):
+//! block management, free-bitmap flushes, checkpoint control, and the
+//! recovery-time bulk fetches of replicated state. Every KV request itself
+//! runs purely over one-sided verbs.
+
+use crate::ckpt::CkptReport;
+use aceso_blockalloc::BlockId;
+
+/// Requests a client (or the recovery orchestrator) sends to an MN server.
+#[derive(Clone, Debug)]
+pub enum ServerReq {
+    /// Allocate a DATA block of the given size class on this MN.
+    AllocData {
+        /// Requesting client.
+        cli_id: u32,
+        /// KV slot size in 64 B units.
+        slot_len64: u8,
+    },
+    /// Allocate a DELTA block on this MN (it holds a PARITY cell covering
+    /// the given data cell) and register it in the parity record.
+    AllocDelta {
+        /// Requesting client.
+        cli_id: u32,
+        /// Size class (mirrors the data block).
+        slot_len64: u8,
+        /// Stripe array of the covered data cell.
+        array: u64,
+        /// Row of the covered data cell.
+        row: usize,
+        /// Which of this MN's parity rows covers it (`n−2` or `n−1`).
+        parity_row: usize,
+    },
+    /// The client filled this DATA block: stamp the current Index Version.
+    DataFilled {
+        /// The filled block.
+        block: BlockId,
+    },
+    /// Encode the registered DELTA block for `(array, row)` into this MN's
+    /// PARITY cell at `parity_row`, then free the delta.
+    EncodeDelta {
+        /// Stripe array.
+        array: u64,
+        /// Covered data-cell row.
+        row: usize,
+        /// This MN's parity row.
+        parity_row: usize,
+    },
+    /// Bulk obsolete-bit flush: `(block, set-bit indices)`.
+    BitmapFlush {
+        /// Per-block obsolete slot indices.
+        updates: Vec<(BlockId, Vec<u32>)>,
+    },
+    /// Fetch one block's metadata record bytes.
+    GetRecord {
+        /// Which block.
+        block: BlockId,
+    },
+    /// Fetch the server's local backup copy of a reused block (§3.3.3),
+    /// used by CN crash recovery.
+    GetOldCopy {
+        /// Which block.
+        block: BlockId,
+    },
+    /// List this MN's DATA block records (recovery scans; CN recovery).
+    ListDataBlocks,
+    /// Blocks currently owned (unfilled) by a client (CN recovery).
+    QueryClientBlocks {
+        /// The crashed client's id.
+        cli_id: u32,
+    },
+    /// Run one checkpoint round now (store-driven tick; also used by the
+    /// background loop's leader).
+    CkptRound,
+    /// Checkpoint delta arriving from the left-neighbour column.
+    CkptDelta {
+        /// Sender's column.
+        from_column: usize,
+        /// LZ-compressed XOR delta.
+        compressed: Vec<u8>,
+        /// Uncompressed delta length.
+        raw_len: usize,
+        /// The Index Version this checkpoint represents.
+        index_version: u64,
+    },
+    /// Meta-Area replication: a record changed on the left neighbour.
+    ReplicateRecord {
+        /// Sender's column.
+        from_column: usize,
+        /// Which block.
+        block: BlockId,
+        /// Serialized record.
+        bytes: Vec<u8>,
+    },
+    /// Recovery: fetch everything this server replicates for `of_column`.
+    GetMetaReplica {
+        /// The failed column.
+        of_column: usize,
+    },
+    /// Recovery: fetch the checkpoint this server holds for `of_column`.
+    GetCheckpoint {
+        /// The failed column.
+        of_column: usize,
+    },
+    /// Post-recovery: the right neighbour was replaced; re-send all records
+    /// and make the next checkpoint round a full one.
+    ResetReplication,
+}
+
+/// Responses.
+#[derive(Clone, Debug)]
+pub enum ServerResp {
+    /// Generic success.
+    Ok,
+    /// Request failed (reason for logs/tests).
+    Err(String),
+    /// DATA block allocated.
+    DataAllocated {
+        /// The block.
+        block: BlockId,
+        /// Stripe array of the cell.
+        array: u64,
+        /// Row of the cell.
+        row: usize,
+        /// Reused (reclaimed) block? If so the old Free Bitmap follows.
+        reused: bool,
+        /// Old obsolete bits for a reused block.
+        old_bitmap: Option<Vec<u8>>,
+    },
+    /// DELTA block allocated.
+    DeltaAllocated {
+        /// The block.
+        block: BlockId,
+    },
+    /// One record's bytes.
+    Record {
+        /// Serialized [`aceso_blockalloc::BlockRecord`].
+        bytes: Vec<u8>,
+    },
+    /// Backup copy of a reused block (None if already discarded).
+    OldCopy {
+        /// Raw block bytes.
+        bytes: Option<Vec<u8>>,
+    },
+    /// Record list: `(block id, serialized record)`.
+    Records {
+        /// The records.
+        list: Vec<(BlockId, Vec<u8>)>,
+    },
+    /// Checkpoint round finished.
+    CkptDone {
+        /// Per-step measurements.
+        report: CkptReport,
+    },
+    /// Checkpoint delta applied (receiver-side timings, µs).
+    CkptApplied {
+        /// LZ decompression time.
+        decompress_us: f64,
+        /// XOR-apply time.
+        xor_us: f64,
+    },
+    /// Replicated meta for a column.
+    MetaReplica {
+        /// `(block id, serialized record)`.
+        records: Vec<(BlockId, Vec<u8>)>,
+    },
+    /// The checkpoint held for a column.
+    Checkpoint {
+        /// Raw (uncompressed) index bytes.
+        data: Vec<u8>,
+        /// Its Index Version.
+        index_version: u64,
+    },
+}
+
+impl ServerResp {
+    /// Unwraps `Ok`, surfacing protocol violations as store errors.
+    pub fn expect_ok(self) -> crate::Result<()> {
+        match self {
+            ServerResp::Ok => Ok(()),
+            other => Err(crate::StoreError::Rdma(aceso_rdma::RdmaError::RpcClosed)).map_err(|e| {
+                debug_assert!(false, "unexpected rpc response: {other:?}");
+                e
+            }),
+        }
+    }
+}

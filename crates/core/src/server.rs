@@ -1,0 +1,628 @@
+//! The MN server: coarse-grained management running next to each memory
+//! node (paper §3.1).
+//!
+//! Each MN runs one server handling space allocation, index checkpointing
+//! and erasure coding. The paper dedicates four MN CPU cores to RPC
+//! serving, erasure coding, checkpoint sending and checkpoint receiving;
+//! here one thread executes all four roles but *meters* them separately
+//! ([`BusyMeters`]), which is what Table 3 reports.
+
+use crate::ckpt::{CkptReceiver, CkptReport, CkptSender};
+use crate::config::{pack_col, unpack_col, MemoryMap};
+use crate::proto::{ServerReq, ServerResp};
+use aceso_blockalloc::{Allocator, Bitmap, BlockId, BlockRecord, CellKind, Role};
+use aceso_erasure::xor_into;
+use aceso_index::RemoteIndex;
+use aceso_rdma::{DmClient, MemoryNode, NodeId, RpcClient, RpcServer};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Column → (physical node, RPC endpoint) map, shared by clients, servers
+/// and the recovery orchestrator. Updated when a failed MN is replaced.
+pub struct Directory {
+    inner: RwLock<Vec<(NodeId, RpcClient<ServerReq, ServerResp>)>>,
+}
+
+impl Directory {
+    /// Creates a directory over the initial column assignment.
+    pub fn new(cols: Vec<(NodeId, RpcClient<ServerReq, ServerResp>)>) -> Self {
+        Directory {
+            inner: RwLock::new(cols),
+        }
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.inner.read().len()
+    }
+
+    /// Whether the directory is empty.
+    pub fn is_empty(&self) -> bool {
+        self.inner.read().is_empty()
+    }
+
+    /// Physical node currently serving `col`.
+    pub fn node_of(&self, col: usize) -> NodeId {
+        self.inner.read()[col].0
+    }
+
+    /// RPC endpoint of `col`'s server.
+    pub fn rpc_of(&self, col: usize) -> RpcClient<ServerReq, ServerResp> {
+        self.inner.read()[col].1.clone()
+    }
+
+    /// Replaces a column's node + endpoint (recovery publishing step).
+    pub fn replace(&self, col: usize, node: NodeId, rpc: RpcClient<ServerReq, ServerResp>) {
+        self.inner.write()[col] = (node, rpc);
+    }
+}
+
+/// Wall-clock busy time per logical MN core (paper Table 3).
+#[derive(Default)]
+pub struct BusyMeters {
+    /// RPC serving.
+    pub rpc_ns: AtomicU64,
+    /// Erasure coding.
+    pub ec_ns: AtomicU64,
+    /// Checkpoint sending.
+    pub ckpt_send_ns: AtomicU64,
+    /// Checkpoint receiving.
+    pub ckpt_recv_ns: AtomicU64,
+}
+
+impl BusyMeters {
+    fn add(&self, which: &AtomicU64, dur: Duration) {
+        which.fetch_add(dur.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Snapshot of `(rpc, ec, send, recv)` busy nanoseconds.
+    pub fn snapshot(&self) -> [u64; 4] {
+        [
+            self.rpc_ns.load(Ordering::Relaxed),
+            self.ec_ns.load(Ordering::Relaxed),
+            self.ckpt_send_ns.load(Ordering::Relaxed),
+            self.ckpt_recv_ns.load(Ordering::Relaxed),
+        ]
+    }
+
+    /// Resets all meters.
+    pub fn reset(&self) {
+        for m in [
+            &self.rpc_ns,
+            &self.ec_ns,
+            &self.ckpt_send_ns,
+            &self.ckpt_recv_ns,
+        ] {
+            m.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+/// State of one MN server, shared between its thread, the store and the
+/// recovery orchestrator.
+pub struct MnServer {
+    /// The column this server serves.
+    pub column: usize,
+    /// The physical memory node.
+    pub node: Arc<MemoryNode>,
+    /// The shared memory map.
+    pub map: MemoryMap,
+    /// This column's index partition handle.
+    pub index: RemoteIndex,
+    /// Authoritative in-memory metadata records (mirrored to the Meta Area
+    /// and replicated to the right neighbour).
+    pub records: Mutex<Vec<BlockRecord>>,
+    /// Free lists.
+    pub alloc: Mutex<Allocator>,
+    /// Local backups of reused blocks, kept until they refill (§3.3.3).
+    pub old_copies: Mutex<HashMap<BlockId, Vec<u8>>>,
+    /// Checkpoint sender state.
+    pub sender: Mutex<CkptSender>,
+    /// Checkpoints held for other columns (receiver side).
+    pub received: Mutex<HashMap<usize, CkptReceiver>>,
+    /// Meta-Area replicas held for other columns.
+    pub meta_replicas: Mutex<HashMap<usize, HashMap<BlockId, Vec<u8>>>>,
+    /// Logical-core busy meters.
+    pub meters: BusyMeters,
+    /// Reclamation trigger: obsolete ratio threshold.
+    pub reclaim_obsolete: f64,
+    /// Reclamation trigger: free ratio threshold.
+    pub reclaim_free: f64,
+    /// Server liveness (cleared on kill/shutdown).
+    pub alive: Arc<AtomicBool>,
+}
+
+impl MnServer {
+    /// Creates the server state for `column` on `node`.
+    pub fn new(
+        column: usize,
+        node: Arc<MemoryNode>,
+        map: MemoryMap,
+        reclaim_obsolete: f64,
+        reclaim_free: f64,
+    ) -> Arc<Self> {
+        let blocks = map.blocks.blocks_per_node() as usize;
+        let index_bytes = (map.index.num_groups * 384) as usize;
+        let s = MnServer {
+            column,
+            index: RemoteIndex::new(node.id, map.index),
+            node,
+            map,
+            records: Mutex::new(vec![BlockRecord::free(); blocks]),
+            alloc: Mutex::new(Allocator::new(map.blocks)),
+            old_copies: Mutex::new(HashMap::new()),
+            sender: Mutex::new(CkptSender::new(index_bytes)),
+            received: Mutex::new(HashMap::new()),
+            meta_replicas: Mutex::new(HashMap::new()),
+            meters: BusyMeters::default(),
+            reclaim_obsolete,
+            reclaim_free,
+            alive: Arc::new(AtomicBool::new(true)),
+        };
+        // Launch starts every partition at Index Version 1 so that "0"
+        // unambiguously means "unfilled block" in records.
+        s.index.local_set_index_version(&s.node.region, 1);
+        Arc::new(s)
+    }
+
+    /// Right-neighbour column (checkpoint + meta replica target).
+    pub fn neighbour(&self) -> usize {
+        (self.column + 1) % self.map.blocks.n
+    }
+
+    /// Persists a record to the local Meta Area and replicates it to the
+    /// next *two* neighbours (the Meta Area's fault tolerance, §3.1 — two
+    /// copies are required to match the coding group's two-failure
+    /// tolerance).
+    fn persist_record(&self, dm: &DmClient, dir: &Directory, id: BlockId) {
+        let bytes = self.records.lock()[id as usize].encode();
+        self.node
+            .region
+            .write(self.map.blocks.record_offset(id), &bytes)
+            .expect("meta area write");
+        let n = self.map.blocks.n;
+        for ncol in [(self.column + 1) % n, (self.column + 2) % n] {
+            let _ = dm.rpc_cast(
+                dir.node_of(ncol),
+                &dir.rpc_of(ncol),
+                ServerReq::ReplicateRecord {
+                    from_column: self.column,
+                    block: id,
+                    bytes: bytes.clone(),
+                },
+                aceso_blockalloc::RECORD_BYTES as usize,
+            );
+        }
+    }
+
+    /// Handles one request. `dm` is this server's background fabric client.
+    ///
+    /// The single server thread plays all four of the paper's MN cores;
+    /// time spent in erasure coding or checkpoint work is metered to those
+    /// roles and *excluded* from the RPC-serving meter.
+    pub fn handle(&self, req: ServerReq, dm: &DmClient, dir: &Directory) -> ServerResp {
+        let t0 = Instant::now();
+        let mut role_time = Duration::ZERO;
+        let resp = match req {
+            ServerReq::AllocData { cli_id, slot_len64 } => {
+                self.handle_alloc_data(cli_id, slot_len64, dm, dir)
+            }
+            ServerReq::AllocDelta {
+                cli_id,
+                slot_len64,
+                array,
+                row,
+                parity_row,
+            } => self.handle_alloc_delta(cli_id, slot_len64, array, row, parity_row, dm, dir),
+            ServerReq::DataFilled { block } => {
+                let iv = self.index.local_index_version(&self.node.region);
+                {
+                    let mut recs = self.records.lock();
+                    let rec = &mut recs[block as usize];
+                    rec.index_version = iv;
+                }
+                self.old_copies.lock().remove(&block);
+                self.persist_record(dm, dir, block);
+                ServerResp::Ok
+            }
+            ServerReq::EncodeDelta {
+                array,
+                row,
+                parity_row,
+            } => {
+                let t = Instant::now();
+                let r = self.handle_encode_delta(array, row, parity_row, dm, dir);
+                role_time = t.elapsed();
+                self.meters.add(&self.meters.ec_ns, role_time);
+                r
+            }
+            ServerReq::BitmapFlush { updates } => self.handle_bitmap_flush(updates, dm, dir),
+            ServerReq::GetRecord { block } => ServerResp::Record {
+                bytes: self.records.lock()[block as usize].encode(),
+            },
+            ServerReq::GetOldCopy { block } => ServerResp::OldCopy {
+                bytes: self.old_copies.lock().get(&block).cloned(),
+            },
+            ServerReq::ListDataBlocks => {
+                let recs = self.records.lock();
+                ServerResp::Records {
+                    list: recs
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, r)| r.role == Role::Data)
+                        .map(|(i, r)| (i as BlockId, r.encode()))
+                        .collect(),
+                }
+            }
+            ServerReq::QueryClientBlocks { cli_id } => {
+                let recs = self.records.lock();
+                ServerResp::Records {
+                    list: recs
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, r)| {
+                            r.cli_id == cli_id
+                                && r.index_version == 0
+                                && matches!(r.role, Role::Data | Role::Delta)
+                        })
+                        .map(|(i, r)| (i as BlockId, r.encode()))
+                        .collect(),
+                }
+            }
+            ServerReq::CkptRound => {
+                let t = Instant::now();
+                let r = self.checkpoint_round(dm, dir);
+                role_time = t.elapsed();
+                self.meters.add(&self.meters.ckpt_send_ns, role_time);
+                match r {
+                    Ok(report) => ServerResp::CkptDone { report },
+                    Err(e) => ServerResp::Err(e),
+                }
+            }
+            ServerReq::CkptDelta {
+                from_column,
+                compressed,
+                raw_len,
+                index_version,
+            } => {
+                let t = Instant::now();
+                let mut recv = self.received.lock();
+                let rx = recv
+                    .entry(from_column)
+                    .or_insert_with(|| CkptReceiver::new(raw_len));
+                let r = rx.apply(&compressed, raw_len, index_version);
+                role_time = t.elapsed();
+                self.meters.add(&self.meters.ckpt_recv_ns, role_time);
+                match r {
+                    Ok((decompress_us, xor_us)) => ServerResp::CkptApplied {
+                        decompress_us,
+                        xor_us,
+                    },
+                    Err(e) => ServerResp::Err(format!("ckpt delta: {e}")),
+                }
+            }
+            ServerReq::ReplicateRecord {
+                from_column,
+                block,
+                bytes,
+            } => {
+                self.meta_replicas
+                    .lock()
+                    .entry(from_column)
+                    .or_default()
+                    .insert(block, bytes);
+                ServerResp::Ok
+            }
+            ServerReq::GetMetaReplica { of_column } => ServerResp::MetaReplica {
+                records: self
+                    .meta_replicas
+                    .lock()
+                    .get(&of_column)
+                    .map(|m| m.iter().map(|(k, v)| (*k, v.clone())).collect())
+                    .unwrap_or_default(),
+            },
+            ServerReq::GetCheckpoint { of_column } => {
+                let recv = self.received.lock();
+                match recv.get(&of_column) {
+                    Some(rx) => ServerResp::Checkpoint {
+                        data: rx.data.clone(),
+                        index_version: rx.index_version,
+                    },
+                    None => ServerResp::Err(format!("no checkpoint for column {of_column}")),
+                }
+            }
+            ServerReq::ResetReplication => {
+                self.sender.lock().reset_to_full();
+                let ids: Vec<BlockId> = (0..self.records.lock().len() as BlockId).collect();
+                for id in ids {
+                    self.persist_record(dm, dir, id);
+                }
+                ServerResp::Ok
+            }
+        };
+        self.meters
+            .add(&self.meters.rpc_ns, t0.elapsed().saturating_sub(role_time));
+        resp
+    }
+
+    fn handle_alloc_data(
+        &self,
+        cli_id: u32,
+        slot_len64: u8,
+        dm: &DmClient,
+        dir: &Directory,
+    ) -> ServerResp {
+        if slot_len64 == 0 {
+            return ServerResp::Err("size class 0".into());
+        }
+        let slots = (self.map.blocks.block_size / (slot_len64 as u64 * 64)) as usize;
+        if slots == 0 || slots > aceso_blockalloc::record::MAX_SLOTS {
+            return ServerResp::Err(format!("unsupported size class {slot_len64}"));
+        }
+        // Pull an allocation; skip reuse candidates of a different class.
+        let picked = {
+            let mut alloc = self.alloc.lock();
+            let mut tries = alloc.reuse_count() + 1;
+            loop {
+                match alloc.alloc_data() {
+                    None => break None,
+                    Some(d) if !d.reused => break Some(d),
+                    Some(d) => {
+                        let recs = self.records.lock();
+                        if recs[d.id as usize].slot_len64 == slot_len64 {
+                            break Some(d);
+                        }
+                        alloc.push_reuse_candidate(d.id);
+                        tries -= 1;
+                        if tries == 0 {
+                            break None;
+                        }
+                    }
+                }
+            }
+        };
+        let Some(d) = picked else {
+            return ServerResp::Err("out of data blocks".into());
+        };
+        let CellKind::Data { array, row } = self.map.blocks.kind_of(d.id) else {
+            unreachable!("allocator returned a non-data block");
+        };
+        let old_bitmap = if d.reused {
+            // Back up the whole old block locally in case the client fails
+            // mid-overwrite (§3.3.3 / §3.4.2).
+            let bytes = self
+                .node
+                .region
+                .read_vec(
+                    self.map.blocks.block_offset(d.id),
+                    self.map.blocks.block_size as usize,
+                )
+                .expect("block read");
+            self.old_copies.lock().insert(d.id, bytes);
+            let mut recs = self.records.lock();
+            let rec = &mut recs[d.id as usize];
+            let old = rec.bitmap.as_bytes().to_vec();
+            rec.bitmap.clear();
+            rec.index_version = 0;
+            rec.cli_id = cli_id;
+            Some(old)
+        } else {
+            let mut recs = self.records.lock();
+            let rec = &mut recs[d.id as usize];
+            rec.role = Role::Data;
+            rec.valid = true;
+            rec.xor_id = row as u8;
+            rec.slot_len64 = slot_len64;
+            rec.cli_id = cli_id;
+            rec.index_version = 0;
+            rec.stripe_array = array;
+            rec.bitmap = Bitmap::new(slots);
+            None
+        };
+        self.persist_record(dm, dir, d.id);
+        ServerResp::DataAllocated {
+            block: d.id,
+            array,
+            row,
+            reused: d.reused,
+            old_bitmap,
+        }
+    }
+
+    fn handle_alloc_delta(
+        &self,
+        cli_id: u32,
+        slot_len64: u8,
+        array: u64,
+        row: usize,
+        parity_row: usize,
+        dm: &DmClient,
+        dir: &Directory,
+    ) -> ServerResp {
+        let Some(id) = self.alloc.lock().alloc_delta() else {
+            return ServerResp::Err("out of delta blocks".into());
+        };
+        // Delta blocks must start zeroed (they accumulate XOR images).
+        self.node
+            .region
+            .zero(
+                self.map.blocks.block_offset(id),
+                self.map.blocks.block_size as usize,
+            )
+            .expect("delta zero");
+        let pid = self.map.blocks.cell_block_id(array, parity_row);
+        {
+            let mut recs = self.records.lock();
+            let rec = &mut recs[id as usize];
+            rec.role = Role::Delta;
+            rec.valid = true;
+            rec.xor_id = row as u8;
+            rec.slot_len64 = slot_len64;
+            rec.cli_id = cli_id;
+            rec.stripe_array = array;
+            let prec = &mut recs[pid as usize];
+            if prec.role == Role::Free {
+                prec.role = Role::Parity;
+                prec.valid = true;
+                prec.xor_id = parity_row as u8;
+                prec.stripe_array = array;
+            }
+            prec.delta_addr[row] = pack_col(self.column, self.map.blocks.block_offset(id));
+        }
+        self.persist_record(dm, dir, id);
+        self.persist_record(dm, dir, pid);
+        ServerResp::DeltaAllocated { block: id }
+    }
+
+    fn handle_encode_delta(
+        &self,
+        array: u64,
+        row: usize,
+        parity_row: usize,
+        dm: &DmClient,
+        dir: &Directory,
+    ) -> ServerResp {
+        let pid = self.map.blocks.cell_block_id(array, parity_row);
+        let daddr = {
+            let recs = self.records.lock();
+            recs[pid as usize].delta_addr[row]
+        };
+        if daddr == 0 {
+            return ServerResp::Ok; // Already encoded (idempotent under retries).
+        }
+        let (dcol, doff) = unpack_col(daddr);
+        debug_assert_eq!(
+            dcol, self.column,
+            "delta must be local to the parity holder"
+        );
+        let bs = self.map.blocks.block_size as usize;
+        let delta = self.node.region.read_vec(doff, bs).expect("delta read");
+        let poff = self.map.blocks.block_offset(pid);
+        let mut parity = self.node.region.read_vec(poff, bs).expect("parity read");
+        xor_into(&mut parity, &delta);
+        self.node.region.write(poff, &parity).expect("parity write");
+
+        let delta_id = self.map.blocks.locate(doff).expect("delta offset").0;
+        {
+            let mut recs = self.records.lock();
+            let prec = &mut recs[pid as usize];
+            prec.xor_map |= 1 << row;
+            prec.delta_addr[row] = 0;
+            let drec = &mut recs[delta_id as usize];
+            *drec = BlockRecord::free();
+        }
+        // Physically free the delta (zero so a future reuse starts clean).
+        self.node.region.zero(doff, bs).expect("delta zero");
+        self.alloc.lock().free_delta(delta_id);
+        self.persist_record(dm, dir, pid);
+        self.persist_record(dm, dir, delta_id);
+        ServerResp::Ok
+    }
+
+    fn handle_bitmap_flush(
+        &self,
+        updates: Vec<(BlockId, Vec<u32>)>,
+        dm: &DmClient,
+        dir: &Directory,
+    ) -> ServerResp {
+        let mut touched = Vec::new();
+        {
+            let mut recs = self.records.lock();
+            for (block, slots) in updates {
+                let Some(rec) = recs.get_mut(block as usize) else {
+                    continue;
+                };
+                if rec.role != Role::Data {
+                    continue;
+                }
+                for s in slots {
+                    if (s as usize) < rec.bitmap.len() {
+                        rec.bitmap.set(s as usize, true);
+                    }
+                }
+                touched.push(block);
+            }
+        }
+        // Reclamation trigger (§3.3.3): obsolete ratio over threshold AND
+        // free space below threshold.
+        let free_ratio = self.alloc.lock().free_data_ratio();
+        for block in &touched {
+            let (ratio_ok, filled) = {
+                let recs = self.records.lock();
+                let rec = &recs[*block as usize];
+                let slots = rec.slots(self.map.blocks.block_size).max(1);
+                (
+                    rec.bitmap.count_ones() as f64 / slots as f64 >= self.reclaim_obsolete,
+                    rec.index_version != 0,
+                )
+            };
+            if ratio_ok && filled && free_ratio < self.reclaim_free {
+                self.alloc.lock().push_reuse_candidate(*block);
+            }
+            self.persist_record(dm, dir, *block);
+        }
+        ServerResp::Ok
+    }
+
+    fn checkpoint_round(&self, dm: &DmClient, dir: &Directory) -> Result<CkptReport, String> {
+        let snapshot = self.index.snapshot(&self.node.region);
+        let iv = self.index.local_index_version(&self.node.region);
+        let (compressed, raw_len, copy_xor_us, compress_us) = self.sender.lock().round(snapshot);
+        let compressed_len = compressed.len();
+        let ncol = self.neighbour();
+        let resp = dm
+            .rpc(
+                dir.node_of(ncol),
+                &dir.rpc_of(ncol),
+                ServerReq::CkptDelta {
+                    from_column: self.column,
+                    compressed,
+                    raw_len,
+                    index_version: iv,
+                },
+                compressed_len,
+            )
+            .map_err(|e| format!("ckpt send: {e}"))?;
+        let (decompress_us, apply_xor_us) = match resp {
+            ServerResp::CkptApplied {
+                decompress_us,
+                xor_us,
+            } => (decompress_us, xor_us),
+            other => return Err(format!("ckpt send: unexpected {other:?}")),
+        };
+        self.index
+            .local_set_index_version(&self.node.region, iv + 1);
+        Ok(CkptReport {
+            raw_len,
+            compressed_len,
+            copy_xor_us,
+            compress_us,
+            decompress_us,
+            apply_xor_us,
+            index_version: iv,
+        })
+    }
+
+    /// The server thread body: serve RPCs until killed or shut down.
+    pub fn run(
+        self: Arc<Self>,
+        rpc: RpcServer<ServerReq, ServerResp>,
+        dm: DmClient,
+        dir: Arc<Directory>,
+    ) {
+        while self.alive.load(Ordering::Acquire) && self.node.is_alive() {
+            match rpc.recv_timeout(Duration::from_millis(20)) {
+                Ok(env) => {
+                    let (req, responder) = env.into_parts();
+                    let resp = self.handle(req, &dm, &dir);
+                    responder.send(resp);
+                }
+                Err(aceso_rdma::RdmaError::RpcTimeout) => continue,
+                Err(_) => break,
+            }
+        }
+    }
+}

@@ -1,0 +1,268 @@
+//! Top-level orchestration: launching a coding group, ticking checkpoints,
+//! injecting failures, and shutting down.
+
+use crate::ckpt::CkptReport;
+use crate::client::AcesoClient;
+use crate::config::{AcesoConfig, ClientTuning, MemoryMap};
+use crate::proto::{ServerReq, ServerResp};
+use crate::server::{Directory, MnServer};
+use crate::{Result, StoreError};
+use aceso_blockalloc::Role;
+use aceso_rdma::{rpc_channel, Cluster, ClusterConfig, DmClient};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Breakdown of Block Area memory consumption (paper Figure 12).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MemoryUsage {
+    /// Bytes of live (referenced) KV pairs.
+    pub valid: u64,
+    /// Bytes of erasure parity (the redundancy).
+    pub redundancy: u64,
+    /// Bytes of live DELTA blocks.
+    pub delta: u64,
+    /// Bytes of allocated DATA blocks (valid + obsolete + unwritten).
+    pub data_allocated: u64,
+}
+
+impl MemoryUsage {
+    /// Total footprint the paper compares (valid + redundancy + delta).
+    pub fn total(&self) -> u64 {
+        self.valid + self.redundancy + self.delta
+    }
+}
+
+/// One running Aceso coding group.
+pub struct AcesoStore {
+    /// The simulated memory pool.
+    pub cluster: Arc<Cluster>,
+    /// The configuration it was launched with.
+    pub cfg: AcesoConfig,
+    /// The derived memory map (identical on every MN).
+    pub map: MemoryMap,
+    dir: Arc<Directory>,
+    servers: Mutex<Vec<Arc<MnServer>>>,
+    threads: Mutex<Vec<JoinHandle<()>>>,
+    next_cli: AtomicU32,
+    running: Arc<AtomicBool>,
+    ctl: DmClient,
+    /// Columns whose PARITY rebuild is deferred until every column is back
+    /// (multi-failure recovery cannot rebuild parity from dead peers).
+    pub(crate) pending_parity: Mutex<Vec<usize>>,
+}
+
+impl AcesoStore {
+    /// Launches a coding group of `cfg.num_mns` memory nodes with servers.
+    pub fn launch(cfg: AcesoConfig) -> Result<Arc<Self>> {
+        let map = cfg.memory_map();
+        let cluster = Cluster::new(ClusterConfig {
+            num_mns: cfg.num_mns,
+            region_len: map.region_len,
+            cost: cfg.cost,
+        });
+        let mut servers = Vec::new();
+        let mut rpc_servers = Vec::new();
+        let mut dir_rows = Vec::new();
+        for (col, node) in cluster.nodes().into_iter().enumerate() {
+            let (rpc_client, rpc_server) = rpc_channel::<ServerReq, ServerResp>();
+            let server = MnServer::new(
+                col,
+                node,
+                map,
+                cfg.reclaim_obsolete_ratio,
+                cfg.reclaim_free_ratio,
+            );
+            dir_rows.push((server.node.id, rpc_client));
+            rpc_servers.push(rpc_server);
+            servers.push(server);
+        }
+        let dir = Arc::new(Directory::new(dir_rows));
+        let mut threads = Vec::new();
+        for (server, rpc_server) in servers.iter().zip(rpc_servers) {
+            let s = Arc::clone(server);
+            let d = Arc::clone(&dir);
+            let dm = cluster.background_client();
+            threads.push(std::thread::spawn(move || s.run(rpc_server, dm, d)));
+        }
+        let store = Arc::new(AcesoStore {
+            ctl: cluster.background_client(),
+            cluster,
+            cfg: cfg.clone(),
+            map,
+            dir,
+            servers: Mutex::new(servers),
+            threads: Mutex::new(threads),
+            next_cli: AtomicU32::new(1),
+            running: Arc::new(AtomicBool::new(true)),
+            pending_parity: Mutex::new(Vec::new()),
+        });
+        if cfg.auto_checkpoint {
+            let weak = Arc::downgrade(&store);
+            let running = Arc::clone(&store.running);
+            let interval = std::time::Duration::from_millis(cfg.ckpt_interval_ms.max(1));
+            store.threads.lock().push(std::thread::spawn(move || {
+                while running.load(Ordering::Acquire) {
+                    std::thread::sleep(interval);
+                    let Some(store) = weak.upgrade() else { break };
+                    let _ = store.checkpoint_tick();
+                }
+            }));
+        }
+        Ok(store)
+    }
+
+    /// Creates a new client with default tuning.
+    pub fn client(self: &Arc<Self>) -> Result<AcesoClient> {
+        self.client_with(ClientTuning::default())
+    }
+
+    /// Creates a new client with explicit tuning (factor analysis).
+    pub fn client_with(self: &Arc<Self>, tuning: ClientTuning) -> Result<AcesoClient> {
+        if !self.running.load(Ordering::Acquire) {
+            return Err(StoreError::Shutdown);
+        }
+        let id = self.next_cli.fetch_add(1, Ordering::Relaxed);
+        Ok(AcesoClient::new(
+            Arc::clone(&self.cluster),
+            Arc::clone(&self.dir),
+            self.map,
+            id,
+            tuning,
+            self.cfg.bitmap_flush_every,
+        ))
+    }
+
+    /// Re-creates a client with a *specific* id (CN crash recovery: the
+    /// restarted client must adopt the crashed one's CLI ID).
+    pub fn client_with_id(self: &Arc<Self>, cli_id: u32) -> AcesoClient {
+        AcesoClient::new(
+            Arc::clone(&self.cluster),
+            Arc::clone(&self.dir),
+            self.map,
+            cli_id,
+            ClientTuning::default(),
+            self.cfg.bitmap_flush_every,
+        )
+    }
+
+    /// The column directory (clients, recovery).
+    pub fn directory(&self) -> &Arc<Directory> {
+        &self.dir
+    }
+
+    /// The server state of `col` (stats, recovery orchestration).
+    pub fn server(&self, col: usize) -> Arc<MnServer> {
+        Arc::clone(&self.servers.lock()[col])
+    }
+
+    pub(crate) fn set_server(&self, col: usize, server: Arc<MnServer>) {
+        self.servers.lock()[col] = server;
+    }
+
+    pub(crate) fn spawn_thread(&self, t: JoinHandle<()>) {
+        self.threads.lock().push(t);
+    }
+
+    pub(crate) fn ctl_dm(&self) -> &DmClient {
+        &self.ctl
+    }
+
+    /// Runs one synchronized checkpoint round across all columns (the
+    /// paper's leading-server trigger), returning each column's report.
+    pub fn checkpoint_tick(&self) -> Result<Vec<CkptReport>> {
+        let n = self.dir.len();
+        let mut reports = Vec::with_capacity(n);
+        for col in 0..n {
+            let node = self.dir.node_of(col);
+            if self.cluster.node(node).is_err() {
+                continue; // Crashed column: skipped until recovered.
+            }
+            match self
+                .ctl
+                .rpc(node, &self.dir.rpc_of(col), ServerReq::CkptRound, 16)
+            {
+                Ok(ServerResp::CkptDone { report }) => reports.push(report),
+                Ok(_) | Err(_) => {}
+            }
+        }
+        Ok(reports)
+    }
+
+    /// Injects a fail-stop crash of the MN currently serving `col`.
+    pub fn kill_mn(&self, col: usize) {
+        let node = self.dir.node_of(col);
+        let server = self.server(col);
+        server.alive.store(false, Ordering::Release);
+        self.cluster.kill_node(node);
+    }
+
+    /// Sums Block Area consumption across the group (Figure 12).
+    ///
+    /// "Valid" counts live KV slots: completely written, not invalidated,
+    /// not marked obsolete. Unflushed client bitmaps make this an upper
+    /// bound; benches flush before measuring.
+    pub fn memory_usage(&self) -> MemoryUsage {
+        let mut usage = MemoryUsage::default();
+        let bs = self.map.blocks.block_size;
+        for server in self.servers.lock().iter() {
+            if !server.node.is_alive() {
+                continue;
+            }
+            let recs = server.records.lock();
+            for (id, rec) in recs.iter().enumerate() {
+                match rec.role {
+                    Role::Data => {
+                        usage.data_allocated += bs;
+                        let slots = rec.slots(bs);
+                        if slots == 0 {
+                            continue;
+                        }
+                        let bytes = server
+                            .node
+                            .region
+                            .read_vec(self.map.blocks.block_offset(id as u32), bs as usize)
+                            .expect("block read");
+                        let sb = (rec.slot_len64 as usize) * 64;
+                        for s in 0..slots {
+                            let slot = &bytes[s * sb..(s + 1) * sb];
+                            if rec.bitmap.get(s) {
+                                continue;
+                            }
+                            if let Some(d) = crate::kv::decode(slot) {
+                                if !d.is_invalidated() {
+                                    usage.valid += sb as u64;
+                                }
+                            }
+                        }
+                    }
+                    Role::Delta => usage.delta += bs,
+                    _ => {}
+                }
+            }
+        }
+        // X-Code parity share: 2 parity cells per n−2 data cells.
+        usage.redundancy = usage.data_allocated * 2 / (self.cfg.num_mns as u64 - 2);
+        usage
+    }
+
+    /// Stops background threads and servers; the memory pool itself remains
+    /// readable for post-mortem inspection.
+    pub fn shutdown(&self) {
+        self.running.store(false, Ordering::Release);
+        for s in self.servers.lock().iter() {
+            s.alive.store(false, Ordering::Release);
+        }
+        let threads: Vec<_> = self.threads.lock().drain(..).collect();
+        for t in threads {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for AcesoStore {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}

@@ -1,0 +1,321 @@
+//! Edge-case tests of the failure-handling protocols: Meta-lock breaking,
+//! mixed crashes, degraded paths, checkpoint/write races, and resource
+//! exhaustion errors.
+
+use aceso_core::client::CrashPoint;
+use aceso_core::{
+    recover_cn, recover_mixed, recover_mn, recover_mn_with, AcesoConfig, AcesoStore, ClientTuning,
+    StoreError,
+};
+use std::sync::Arc;
+
+fn small() -> Arc<AcesoStore> {
+    AcesoStore::launch(AcesoConfig::small()).unwrap()
+}
+
+/// A client that crashes while holding a slot's Meta lock must not block
+/// other writers forever: they break the lock by re-locking at the next
+/// odd epoch (§3.2.2, remark 2).
+#[test]
+fn meta_lock_break_after_holder_crash() {
+    use aceso_index::{fingerprint, RemoteIndex, SlotMeta};
+
+    let store = small();
+    let mut a = store.client().unwrap();
+    a.insert(b"locked-key", b"v0").unwrap();
+
+    // Find the slot and lock its Meta by hand (simulating a client that
+    // died between Algorithm 1's lines 9 and 20).
+    let key = b"locked-key";
+    let col = (aceso_index::route_hash(key) % 5) as usize;
+    let node = store.directory().node_of(col);
+    let index = RemoteIndex::new(node, store.map.index);
+    let dm = store.cluster.background_client();
+    let scan = index.scan(&dm, key, fingerprint(key)).unwrap();
+    let slot = scan.matches[0];
+    let locked = SlotMeta {
+        len64: slot.meta.len64,
+        epoch: slot.meta.epoch + 1,
+    };
+    assert_eq!(
+        index.cas_meta(&dm, slot.addr, slot.meta, locked).unwrap(),
+        slot.meta
+    );
+
+    // Another client updates the same key: it must spin, break the lock,
+    // and commit.
+    let mut b = store.client().unwrap();
+    b.update(key, b"v1").unwrap();
+    assert_eq!(b.search(key).unwrap().as_deref(), Some(&b"v1"[..]));
+
+    // The Meta must be unlocked (even epoch) afterwards.
+    let after = index.read_slot(&dm, slot.addr).unwrap();
+    assert!(
+        !after.meta.is_locked(),
+        "meta left locked: {:?}",
+        after.meta
+    );
+    // And the epoch moved past the broken lock.
+    assert!(after.meta.epoch > locked.epoch);
+    store.shutdown();
+}
+
+/// Mixed crash (§3.4.3): a client dies mid-write AND an MN dies; recovery
+/// restores client consistency first, then the MN.
+#[test]
+fn mixed_cn_and_mn_crash() {
+    let store = small();
+    let mut c = store.client().unwrap();
+    for i in 0..400u32 {
+        let key = format!("mx-{i}");
+        c.insert(key.as_bytes(), key.as_bytes()).unwrap();
+    }
+    store.checkpoint_tick().unwrap();
+    let cli_id = c.id();
+    c.crash_point = Some(CrashPoint::BeforeCommit);
+    assert!(c.update(b"mx-0", b"torn").is_err());
+    drop(c);
+
+    store.kill_mn(3);
+    let mut revived = store.client_with_id(cli_id);
+    let reports = recover_mixed(&store, &[3], &mut [&mut revived]).unwrap();
+    assert_eq!(reports.len(), 1);
+
+    for i in (0..400u32).step_by(23) {
+        let key = format!("mx-{i}");
+        assert_eq!(
+            revived.search(key.as_bytes()).unwrap().as_deref(),
+            Some(key.as_bytes())
+        );
+    }
+    store.shutdown();
+}
+
+/// Index-tier-only recovery leaves old blocks lost; a fresh client must
+/// still read everything via degraded SEARCH, and a later Block-tier pass
+/// restores normal reads.
+#[test]
+fn degraded_then_full_recovery() {
+    let store = small();
+    let mut c = store.client().unwrap();
+    // ~1 KB values so the data spans many blocks across all five columns.
+    let val = vec![0x5Au8; 900];
+    for i in 0..300u32 {
+        let key = format!("dg2-{i}");
+        c.insert(key.as_bytes(), &val).unwrap();
+    }
+    c.close_open_blocks().unwrap();
+    store.checkpoint_tick().unwrap();
+    store.checkpoint_tick().unwrap();
+    store.kill_mn(2);
+    let r = recover_mn_with(&store, 2, false).unwrap();
+    assert!(r.old_lblock_count == 0 || r.recover_old_lblock_ms == 0.0);
+
+    // Degraded reads: every key, fresh client (no stale cache).
+    let mut fresh = store.client().unwrap();
+    for i in 0..300u32 {
+        let key = format!("dg2-{i}");
+        assert_eq!(
+            fresh.search(key.as_bytes()).unwrap().as_deref(),
+            Some(&val[..]),
+            "degraded {key}"
+        );
+    }
+
+    // Degraded reads cost more verbs than normal ones.
+    let profile = fresh.dm.take_ops();
+    let avg_verbs: f64 =
+        profile.records.iter().map(|r| r.verbs as f64).sum::<f64>() / profile.records.len() as f64;
+    assert!(
+        avg_verbs > 3.0,
+        "degraded searches should read parity chains: {avg_verbs}"
+    );
+    store.shutdown();
+}
+
+/// Checkpoint rounds running concurrently with committing writers must
+/// never capture a torn slot (Atomic/Meta words are snapshotted whole).
+#[test]
+fn checkpoint_concurrent_with_writes_is_consistent() {
+    let store = small();
+    let mut setup = store.client().unwrap();
+    for i in 0..200u32 {
+        setup.insert(format!("ck-{i}").as_bytes(), b"x").unwrap();
+    }
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let writer = {
+        let store = Arc::clone(&store);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut c = store.client().unwrap();
+            let mut i = 0u64;
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let key = format!("ck-{}", i % 200);
+                c.update(key.as_bytes(), &i.to_le_bytes()).unwrap();
+                i += 1;
+            }
+        })
+    };
+    for _ in 0..20 {
+        store.checkpoint_tick().unwrap();
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    writer.join().unwrap();
+
+    // Crash + recover using the last checkpoint: everything must be
+    // readable and committed (no torn state resurrected).
+    let mut c = store.client().unwrap();
+    c.close_open_blocks().ok();
+    store.kill_mn(0);
+    recover_mn(&store, 0).unwrap();
+    let mut fresh = store.client().unwrap();
+    for i in (0..200u32).step_by(11) {
+        let key = format!("ck-{i}");
+        assert!(fresh.search(key.as_bytes()).unwrap().is_some(), "{key}");
+    }
+    store.shutdown();
+}
+
+/// The auto-checkpoint background loop runs and advances Index Versions.
+#[test]
+fn auto_checkpoint_loop() {
+    let cfg = AcesoConfig {
+        auto_checkpoint: true,
+        ckpt_interval_ms: 20,
+        ..AcesoConfig::small()
+    };
+    let store = AcesoStore::launch(cfg).unwrap();
+    let mut c = store.client().unwrap();
+    c.insert(b"auto", b"v").unwrap();
+    std::thread::sleep(std::time::Duration::from_millis(200));
+    let server = store.server(0);
+    let iv = server.index.local_index_version(&server.node.region);
+    assert!(
+        iv > 2,
+        "background rounds should have advanced the IV: {iv}"
+    );
+    store.shutdown();
+}
+
+/// Value-only cache tuning (the factor-analysis +CKPT configuration) is
+/// still fully correct, just costlier.
+#[test]
+fn value_only_cache_is_correct() {
+    let store = small();
+    let tuning = ClientTuning {
+        use_cache: true,
+        cache_slot_addr: false,
+        ..ClientTuning::default()
+    };
+    let mut a = store.client_with(tuning).unwrap();
+    let mut b = store.client().unwrap();
+    a.insert(b"vk", b"v1").unwrap();
+    assert_eq!(a.search(b"vk").unwrap().as_deref(), Some(&b"v1"[..]));
+    // Foreign update invalidates a's cached address.
+    b.update(b"vk", b"v2").unwrap();
+    assert_eq!(a.search(b"vk").unwrap().as_deref(), Some(&b"v2"[..]));
+    a.update(b"vk", b"v3").unwrap();
+    assert_eq!(b.search(b"vk").unwrap().as_deref(), Some(&b"v3"[..]));
+    store.shutdown();
+}
+
+/// Cache-disabled tuning (ORIGIN-style) works too.
+#[test]
+fn no_cache_tuning_is_correct() {
+    let store = small();
+    let tuning = ClientTuning {
+        use_cache: false,
+        cache_slot_addr: false,
+        ..ClientTuning::default()
+    };
+    let mut c = store.client_with(tuning).unwrap();
+    c.insert(b"nc", b"v1").unwrap();
+    assert_eq!(c.search(b"nc").unwrap().as_deref(), Some(&b"v1"[..]));
+    c.update(b"nc", b"v2").unwrap();
+    assert_eq!(c.search(b"nc").unwrap().as_deref(), Some(&b"v2"[..]));
+    store.shutdown();
+}
+
+/// Exhausting the Block Area surfaces `OutOfBlocks`, not a hang or panic.
+#[test]
+fn out_of_blocks_is_reported() {
+    let cfg = AcesoConfig {
+        num_arrays: 1, // 3 data blocks per MN, 15 total, 64 KiB each.
+        num_delta: 8,
+        reclaim_free_ratio: 0.0, // Never reclaim.
+        ..AcesoConfig::small()
+    };
+    let store = AcesoStore::launch(cfg).unwrap();
+    let mut c = store.client().unwrap();
+    let val = vec![0u8; 900];
+    let mut err = None;
+    for i in 0..5_000u32 {
+        if let Err(e) = c.insert(format!("of-{i}").as_bytes(), &val) {
+            err = Some(e);
+            break;
+        }
+    }
+    assert_eq!(err, Some(StoreError::OutOfBlocks));
+    store.shutdown();
+}
+
+/// Overfilling one bucket group surfaces `IndexFull`.
+#[test]
+fn index_full_is_reported() {
+    let cfg = AcesoConfig {
+        index_groups: 1, // 24 slots total.
+        ..AcesoConfig::small()
+    };
+    let store = AcesoStore::launch(cfg).unwrap();
+    let mut c = store.client().unwrap();
+    let mut err = None;
+    for i in 0..200u32 {
+        if let Err(e) = c.insert(format!("if-{i}").as_bytes(), b"v") {
+            err = Some(e);
+            break;
+        }
+    }
+    assert_eq!(err, Some(StoreError::IndexFull));
+    store.shutdown();
+}
+
+/// CN recovery with nothing torn is a no-op that reports zero repairs.
+#[test]
+fn cn_recovery_of_clean_client() {
+    let store = small();
+    let mut c = store.client().unwrap();
+    for i in 0..50u32 {
+        c.insert(format!("clean-{i}").as_bytes(), b"v").unwrap();
+    }
+    let id = c.id();
+    drop(c);
+    let mut revived = store.client_with_id(id);
+    let r = recover_cn(&store, &mut revived).unwrap();
+    assert_eq!(r.slots_repaired, 0);
+    assert!(r.slots_kept > 0);
+    store.shutdown();
+}
+
+/// Two clients crash; both recover; data stays consistent.
+#[test]
+fn two_crashed_clients_recover() {
+    let store = small();
+    let mut a = store.client().unwrap();
+    let mut b = store.client().unwrap();
+    a.insert(b"two-a", b"va").unwrap();
+    b.insert(b"two-b", b"vb").unwrap();
+    let (ida, idb) = (a.id(), b.id());
+    a.crash_point = Some(CrashPoint::AfterKvWrite);
+    b.crash_point = Some(CrashPoint::BeforeCommit);
+    assert!(a.update(b"two-a", b"xa").is_err());
+    assert!(b.update(b"two-b", b"xb").is_err());
+    drop((a, b));
+
+    let mut ra = store.client_with_id(ida);
+    let mut rb = store.client_with_id(idb);
+    recover_cn(&store, &mut ra).unwrap();
+    recover_cn(&store, &mut rb).unwrap();
+    assert_eq!(ra.search(b"two-a").unwrap().as_deref(), Some(&b"va"[..]));
+    assert_eq!(rb.search(b"two-b").unwrap().as_deref(), Some(&b"vb"[..]));
+    store.shutdown();
+}

@@ -1,0 +1,102 @@
+//! Property-based oracle test: arbitrary operation sequences against a
+//! `HashMap` model, including mid-sequence checkpoints and an optional MN
+//! crash + recovery, must always agree.
+
+use aceso_core::{recover_mn, AcesoConfig, AcesoStore, StoreError};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+#[derive(Clone, Debug)]
+enum OpSpec {
+    Insert(u8, u8),
+    Update(u8, u8),
+    Delete(u8),
+    Search(u8),
+    Checkpoint,
+}
+
+fn op_strategy() -> impl Strategy<Value = OpSpec> {
+    prop_oneof![
+        3 => (any::<u8>(), any::<u8>()).prop_map(|(k, v)| OpSpec::Insert(k, v)),
+        3 => (any::<u8>(), any::<u8>()).prop_map(|(k, v)| OpSpec::Update(k, v)),
+        1 => any::<u8>().prop_map(OpSpec::Delete),
+        3 => any::<u8>().prop_map(OpSpec::Search),
+        1 => Just(OpSpec::Checkpoint),
+    ]
+}
+
+fn key_of(k: u8) -> Vec<u8> {
+    format!("oracle-key-{k:03}").into_bytes()
+}
+
+fn value_of(k: u8, v: u8) -> Vec<u8> {
+    // Variable lengths cross size-class boundaries.
+    let len = 1 + (k as usize * 7 + v as usize * 13) % 300;
+    (0..len).map(|i| (i as u8) ^ v).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24,
+        .. ProptestConfig::default()
+    })]
+
+    #[test]
+    fn random_ops_match_hashmap_oracle(
+        ops in proptest::collection::vec(op_strategy(), 1..120),
+        crash_col in 0usize..5,
+        do_crash: bool,
+    ) {
+        let store = AcesoStore::launch(AcesoConfig::small()).unwrap();
+        let mut client = store.client().unwrap();
+        let mut oracle: HashMap<Vec<u8>, Vec<u8>> = HashMap::new();
+
+        let split = ops.len() / 2;
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                OpSpec::Insert(k, v) => {
+                    client.insert(&key_of(*k), &value_of(*k, *v)).unwrap();
+                    oracle.insert(key_of(*k), value_of(*k, *v));
+                }
+                OpSpec::Update(k, v) => {
+                    match client.update(&key_of(*k), &value_of(*k, *v)) {
+                        Ok(()) => {
+                            prop_assert!(oracle.contains_key(&key_of(*k)));
+                            oracle.insert(key_of(*k), value_of(*k, *v));
+                        }
+                        Err(StoreError::NotFound) => {
+                            prop_assert!(!oracle.contains_key(&key_of(*k)));
+                        }
+                        Err(e) => return Err(TestCaseError::fail(format!("{e}"))),
+                    }
+                }
+                OpSpec::Delete(k) => {
+                    let existed = client.delete(&key_of(*k)).unwrap();
+                    prop_assert_eq!(existed, oracle.remove(&key_of(*k)).is_some());
+                }
+                OpSpec::Search(k) => {
+                    let got = client.search(&key_of(*k)).unwrap();
+                    prop_assert_eq!(&got, &oracle.get(&key_of(*k)).cloned());
+                }
+                OpSpec::Checkpoint => {
+                    store.checkpoint_tick().unwrap();
+                }
+            }
+            // Optionally crash an MN halfway through and keep going.
+            if do_crash && i == split {
+                client.flush_bitmaps().unwrap();
+                store.checkpoint_tick().unwrap();
+                store.kill_mn(crash_col);
+                recover_mn(&store, crash_col).unwrap();
+            }
+        }
+        // Final sweep: every oracle key must be present with its value,
+        // from a fresh client (no cache).
+        let mut fresh = store.client().unwrap();
+        for (k, v) in &oracle {
+            let got = fresh.search(k).unwrap();
+            prop_assert_eq!(got.as_deref(), Some(v.as_slice()));
+        }
+        store.shutdown();
+    }
+}

@@ -1,0 +1,65 @@
+//! Erasure codes for the Block Area of Aceso.
+//!
+//! The paper encodes 2 MB memory blocks with **X-Code** (Xu & Bruck, 1999),
+//! an XOR-only MDS array code tolerating two node failures, and compares it
+//! against **Reed-Solomon** over GF(2^8) (Table 2). Both codes are
+//! implemented here from first principles:
+//!
+//! * [`xor`] — wide XOR kernels, the workhorse of X-Code, differential
+//!   checkpointing and delta-based space reclamation;
+//! * [`gf256`] — GF(2^8) arithmetic with exp/log tables;
+//! * [`rs`] — systematic Reed-Solomon (k data, m parity) built from a Cauchy
+//!   matrix, with decode by matrix inversion;
+//! * [`xcode`] — X-Code over a prime `n`: an `n × n` array of cells per
+//!   stripe, columns mapped to memory nodes, the last two rows of each
+//!   column holding diagonal and anti-diagonal parity.
+//!
+//! Both codes expose the *linearity* property Aceso's delta-based space
+//! reclamation relies on (§3.3.3): updating a data cell by `Δ` updates each
+//! dependent parity cell by a linear image of `Δ` (plain `Δ` for X-Code, a
+//! coefficient multiple for RS), so parities can be maintained by XORing
+//! deltas instead of re-encoding stripes.
+
+#![forbid(unsafe_code)]
+
+pub mod gf256;
+pub mod rs;
+pub mod xcode;
+pub mod xor;
+
+pub use rs::ReedSolomon;
+pub use xcode::XCode;
+pub use xor::{xor_into, xor_of};
+
+/// Errors from erasure encode/decode.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CodeError {
+    /// The requested geometry is invalid (e.g. X-Code `n` not prime).
+    BadGeometry(String),
+    /// More cells were erased than the code can tolerate.
+    TooManyErasures {
+        /// Number of erased columns/shards.
+        lost: usize,
+        /// Maximum the code tolerates.
+        tolerated: usize,
+    },
+    /// Cell buffers disagree in length.
+    LengthMismatch,
+    /// The surviving cells are insufficient or inconsistent for decoding.
+    Unsolvable,
+}
+
+impl core::fmt::Display for CodeError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            CodeError::BadGeometry(s) => write!(f, "bad geometry: {s}"),
+            CodeError::TooManyErasures { lost, tolerated } => {
+                write!(f, "{lost} erasures exceed tolerance {tolerated}")
+            }
+            CodeError::LengthMismatch => write!(f, "cell length mismatch"),
+            CodeError::Unsolvable => write!(f, "erasure pattern unsolvable"),
+        }
+    }
+}
+
+impl std::error::Error for CodeError {}

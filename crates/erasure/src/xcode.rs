@@ -1,0 +1,513 @@
+//! X-Code (Xu & Bruck, 1999): an XOR-only MDS array code tolerating two
+//! column erasures.
+//!
+//! Geometry: an `n × n` array of equal-size cells, `n` prime. Rows
+//! `0..n-2` hold data; row `n-2` holds *diagonal* parity and row `n-1`
+//! *anti-diagonal* parity:
+//!
+//! ```text
+//! C[n-2][i] = ⊕_{k=0}^{n-3} C[k][(i + k + 2) mod n]   (diagonal)
+//! C[n-1][i] = ⊕_{k=0}^{n-3} C[k][(i − k − 2) mod n]   (anti-diagonal)
+//! ```
+//!
+//! Each data cell `(k, j)` therefore contributes to exactly two parity
+//! cells, in columns `(j − k − 2) mod n` and `(j + k + 2) mod n` — both
+//! different from `j`, so losing a column never loses a cell together with
+//! both of its parities. In Aceso, columns are memory nodes and cells are
+//! 2 MB memory blocks (§3.3.1): every MN stores both DATA and PARITY
+//! blocks, and X-Code's two-erasure tolerance matches 3-way replication.
+//!
+//! Decoding is implemented as *peeling*: repeatedly find a parity equation
+//! with exactly one erased cell and solve it by XOR. For any pattern of at
+//! most two erased columns, peeling provably completes (it walks the
+//! classical zig-zag chains); it also opportunistically handles many
+//! sub-column erasure patterns, which Aceso's degraded SEARCH exploits to
+//! recover a single block without touching full columns.
+
+use crate::xor::xor_into;
+use crate::CodeError;
+
+/// An X-Code instance over a prime `n ≥ 3`.
+#[derive(Clone, Copy, Debug)]
+pub struct XCode {
+    n: usize,
+}
+
+fn is_prime(n: usize) -> bool {
+    if n < 2 {
+        return false;
+    }
+    let mut d = 2;
+    while d * d <= n {
+        if n % d == 0 {
+            return false;
+        }
+        d += 1;
+    }
+    true
+}
+
+/// One parity equation: the parity cell plus the data cells it covers.
+#[derive(Clone, Debug)]
+pub struct Equation {
+    /// Row of the parity cell (`n-2` diagonal, `n-1` anti-diagonal).
+    pub parity_row: usize,
+    /// Column of the parity cell.
+    pub parity_col: usize,
+    /// Data cells `(row, col)` covered by the equation.
+    pub data: Vec<(usize, usize)>,
+}
+
+impl XCode {
+    /// Creates an X-Code instance; `n` must be prime and at least 3.
+    pub fn new(n: usize) -> Result<Self, CodeError> {
+        if !is_prime(n) || n < 3 {
+            return Err(CodeError::BadGeometry(format!(
+                "x-code needs prime n ≥ 3, got {n}"
+            )));
+        }
+        Ok(XCode { n })
+    }
+
+    /// Array dimension (columns = memory nodes).
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of data rows per column.
+    pub fn data_rows(&self) -> usize {
+        self.n - 2
+    }
+
+    /// Row index of the diagonal parity.
+    pub fn diag_row(&self) -> usize {
+        self.n - 2
+    }
+
+    /// Row index of the anti-diagonal parity.
+    pub fn anti_row(&self) -> usize {
+        self.n - 1
+    }
+
+    /// The two parity cells that protect data cell `(row, col)`:
+    /// `((diag_row, diag_col), (anti_row, anti_col))`.
+    ///
+    /// Both parity columns differ from `col`, which is what lets Aceso place
+    /// a data block's two DELTA blocks on two *other* memory nodes.
+    pub fn parity_cells_for(&self, row: usize, col: usize) -> ((usize, usize), (usize, usize)) {
+        debug_assert!(row < self.data_rows() && col < self.n);
+        let n = self.n;
+        let diag_col = (col + n - ((row + 2) % n)) % n;
+        let anti_col = (col + row + 2) % n;
+        ((self.diag_row(), diag_col), (self.anti_row(), anti_col))
+    }
+
+    /// All `2n` parity equations of the array.
+    pub fn equations(&self) -> Vec<Equation> {
+        let n = self.n;
+        let mut eqs = Vec::with_capacity(2 * n);
+        for i in 0..n {
+            eqs.push(Equation {
+                parity_row: self.diag_row(),
+                parity_col: i,
+                data: (0..n - 2).map(|k| (k, (i + k + 2) % n)).collect(),
+            });
+            eqs.push(Equation {
+                parity_row: self.anti_row(),
+                parity_col: i,
+                data: (0..n - 2)
+                    .map(|k| (k, (i + n - ((k + 2) % n)) % n))
+                    .collect(),
+            });
+        }
+        eqs
+    }
+
+    /// Encodes a full stripe: computes both parity rows from the data rows.
+    ///
+    /// `data[k][j]` is the cell at data row `k`, column `j`; all cells must
+    /// share one length. Returns `(diagonal_row, anti_diagonal_row)`, each a
+    /// vector of `n` cells.
+    pub fn encode(&self, data: &[Vec<Vec<u8>>]) -> Result<(Vec<Vec<u8>>, Vec<Vec<u8>>), CodeError> {
+        let n = self.n;
+        if data.len() != n - 2 || data.iter().any(|r| r.len() != n) {
+            return Err(CodeError::BadGeometry(format!(
+                "expected {} rows of {} cells",
+                n - 2,
+                n
+            )));
+        }
+        let len = data[0][0].len();
+        if data.iter().flatten().any(|c| c.len() != len) {
+            return Err(CodeError::LengthMismatch);
+        }
+        let mut diag = vec![vec![0u8; len]; n];
+        let mut anti = vec![vec![0u8; len]; n];
+        for (k, row) in data.iter().enumerate() {
+            for (j, cell) in row.iter().enumerate() {
+                let ((_, dc), (_, ac)) = self.parity_cells_for(k, j);
+                xor_into(&mut diag[dc], cell);
+                xor_into(&mut anti[ac], cell);
+            }
+        }
+        Ok((diag, anti))
+    }
+
+    /// Reconstructs every erased (`None`) cell of a stripe in place.
+    ///
+    /// `stripe[row][col]`; rows `0..n-2` data, row `n-2` diagonal parity,
+    /// row `n-1` anti-diagonal parity. Succeeds for any pattern of erasures
+    /// confined to at most two columns (X-Code's guarantee) and for any
+    /// other pattern that happens to be peelable.
+    pub fn reconstruct(&self, stripe: &mut [Vec<Option<Vec<u8>>>]) -> Result<(), CodeError> {
+        let n = self.n;
+        if stripe.len() != n || stripe.iter().any(|r| r.len() != n) {
+            return Err(CodeError::BadGeometry(format!("stripe must be {n}×{n}")));
+        }
+        let len = match stripe.iter().flatten().flatten().next() {
+            Some(c) => c.len(),
+            None => return Err(CodeError::Unsolvable),
+        };
+        if stripe.iter().flatten().flatten().any(|c| c.len() != len) {
+            return Err(CodeError::LengthMismatch);
+        }
+        let erased_cols: std::collections::BTreeSet<usize> = stripe
+            .iter()
+            .flat_map(|row| {
+                row.iter()
+                    .enumerate()
+                    .filter(|(_, c)| c.is_none())
+                    .map(|(j, _)| j)
+            })
+            .collect();
+        if erased_cols.len() > 2 {
+            // More than two columns touched: may still be peelable (e.g.
+            // scattered single cells), so do not reject outright — but full
+            // column losses beyond two will fail below with Unsolvable.
+        }
+
+        // Peeling over data cells. Live equations: parity cell present.
+        // Each equation tracks its current RHS (parity ⊕ known data) and the
+        // set of still-unknown data cells in its support.
+        struct Live {
+            rhs: Vec<u8>,
+            unknowns: Vec<(usize, usize)>,
+        }
+        let mut live: Vec<Live> = Vec::new();
+        for eq in self.equations() {
+            let Some(p) = stripe[eq.parity_row][eq.parity_col].clone() else {
+                continue;
+            };
+            let mut rhs = p;
+            let mut unknowns = Vec::new();
+            for &(r, c) in &eq.data {
+                match &stripe[r][c] {
+                    Some(cell) => xor_into(&mut rhs, cell),
+                    None => unknowns.push((r, c)),
+                }
+            }
+            live.push(Live { rhs, unknowns });
+        }
+
+        loop {
+            // Find an equation with exactly one unknown.
+            let Some(idx) = live.iter().position(|e| e.unknowns.len() == 1) else {
+                break;
+            };
+            let e = live.swap_remove(idx);
+            let (r, c) = e.unknowns[0];
+            let value = e.rhs;
+            // Substitute into the remaining equations.
+            for other in &mut live {
+                if let Some(pos) = other.unknowns.iter().position(|&u| u == (r, c)) {
+                    other.unknowns.swap_remove(pos);
+                    xor_into(&mut other.rhs, &value);
+                }
+            }
+            stripe[r][c] = Some(value);
+        }
+
+        // All data recovered? Then recompute any erased parity cells.
+        let data_missing = stripe[..n - 2].iter().flatten().any(|c| c.is_none());
+        if data_missing {
+            return Err(CodeError::Unsolvable);
+        }
+        for eq in self.equations() {
+            if stripe[eq.parity_row][eq.parity_col].is_none() {
+                let mut p = vec![0u8; len];
+                for &(r, c) in &eq.data {
+                    xor_into(&mut p, stripe[r][c].as_ref().unwrap());
+                }
+                stripe[eq.parity_row][eq.parity_col] = Some(p);
+            }
+        }
+        Ok(())
+    }
+
+    /// Reconstructs a single data cell `(row, col)` from one parity chain,
+    /// reading only the `n − 1` surviving cells of that chain.
+    ///
+    /// This is the paper's "just one XOR operation involving all DATA,
+    /// DELTA, and PARITY blocks" fast path used by degraded SEARCH. The
+    /// `fetch` callback supplies surviving cells; it is called once per
+    /// chain member. Tries the diagonal chain first, then the
+    /// anti-diagonal.
+    pub fn reconstruct_cell(
+        &self,
+        row: usize,
+        col: usize,
+        mut fetch: impl FnMut(usize, usize) -> Option<Vec<u8>>,
+    ) -> Result<Vec<u8>, CodeError> {
+        let (diag, anti) = self.parity_cells_for(row, col);
+        'chain: for (prow, pcol) in [diag, anti] {
+            let Some(mut acc) = fetch(prow, pcol) else {
+                continue;
+            };
+            let eq = self
+                .equations()
+                .into_iter()
+                .find(|e| e.parity_row == prow && e.parity_col == pcol)
+                .expect("parity cell has an equation");
+            for (r, c) in eq.data {
+                if (r, c) == (row, col) {
+                    continue;
+                }
+                match fetch(r, c) {
+                    Some(cell) => {
+                        if cell.len() != acc.len() {
+                            return Err(CodeError::LengthMismatch);
+                        }
+                        xor_into(&mut acc, &cell);
+                    }
+                    None => continue 'chain,
+                }
+            }
+            return Ok(acc);
+        }
+        Err(CodeError::Unsolvable)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn stripe_for(n: usize, len: usize, seed: u64) -> Vec<Vec<Option<Vec<u8>>>> {
+        let code = XCode::new(n).unwrap();
+        let data: Vec<Vec<Vec<u8>>> = (0..n - 2)
+            .map(|k| {
+                (0..n)
+                    .map(|j| {
+                        (0..len)
+                            .map(|b| {
+                                (seed.wrapping_mul((k * n * len + j * len + b) as u64 + 0x9E37)
+                                    >> 21) as u8
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let (diag, anti) = code.encode(&data).unwrap();
+        let mut stripe: Vec<Vec<Option<Vec<u8>>>> = data
+            .into_iter()
+            .map(|row| row.into_iter().map(Some).collect())
+            .collect();
+        stripe.push(diag.into_iter().map(Some).collect());
+        stripe.push(anti.into_iter().map(Some).collect());
+        stripe
+    }
+
+    #[test]
+    fn rejects_non_prime() {
+        assert!(XCode::new(4).is_err());
+        assert!(XCode::new(1).is_err());
+        assert!(XCode::new(2).is_err());
+        assert!(XCode::new(5).is_ok());
+        assert!(XCode::new(7).is_ok());
+    }
+
+    #[test]
+    fn parity_columns_avoid_own_column() {
+        for n in [3usize, 5, 7, 11] {
+            let code = XCode::new(n).unwrap();
+            for k in 0..n - 2 {
+                for j in 0..n {
+                    let ((dr, dc), (ar, ac)) = code.parity_cells_for(k, j);
+                    assert_eq!(dr, n - 2);
+                    assert_eq!(ar, n - 1);
+                    assert_ne!(dc, j, "n={n} k={k} j={j}");
+                    assert_ne!(ac, j, "n={n} k={k} j={j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn equations_match_parity_map() {
+        // Every data cell appears in exactly one diagonal and one
+        // anti-diagonal equation, the ones parity_cells_for names.
+        for n in [5usize, 7] {
+            let code = XCode::new(n).unwrap();
+            for eq in code.equations() {
+                for &(r, c) in &eq.data {
+                    let ((_, dc), (_, ac)) = code.parity_cells_for(r, c);
+                    if eq.parity_row == code.diag_row() {
+                        assert_eq!(eq.parity_col, dc);
+                    } else {
+                        assert_eq!(eq.parity_col, ac);
+                    }
+                }
+                assert_eq!(eq.data.len(), n - 2);
+            }
+        }
+    }
+
+    #[test]
+    fn recovers_single_column() {
+        for n in [3usize, 5, 7] {
+            let full = stripe_for(n, 48, 7);
+            for col in 0..n {
+                let mut s = full.clone();
+                for row in s.iter_mut() {
+                    row[col] = None;
+                }
+                XCode::new(n).unwrap().reconstruct(&mut s).unwrap();
+                assert_eq!(s, full, "n={n} col={col}");
+            }
+        }
+    }
+
+    #[test]
+    fn recovers_two_columns() {
+        for n in [5usize, 7] {
+            let full = stripe_for(n, 32, 99);
+            for c1 in 0..n {
+                for c2 in c1 + 1..n {
+                    let mut s = full.clone();
+                    for row in s.iter_mut() {
+                        row[c1] = None;
+                        row[c2] = None;
+                    }
+                    XCode::new(n).unwrap().reconstruct(&mut s).unwrap();
+                    assert_eq!(s, full, "n={n} cols={c1},{c2}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn three_columns_unsolvable() {
+        let full = stripe_for(5, 16, 3);
+        let mut s = full.clone();
+        for row in s.iter_mut() {
+            row[0] = None;
+            row[1] = None;
+            row[2] = None;
+        }
+        assert!(XCode::new(5).unwrap().reconstruct(&mut s).is_err());
+    }
+
+    #[test]
+    fn single_cell_fast_path() {
+        let n = 5;
+        let full = stripe_for(n, 64, 42);
+        let code = XCode::new(n).unwrap();
+        for k in 0..n - 2 {
+            for j in 0..n {
+                let got = code
+                    .reconstruct_cell(k, j, |r, c| {
+                        if (r, c) == (k, j) {
+                            None
+                        } else {
+                            full[r][c].clone()
+                        }
+                    })
+                    .unwrap();
+                assert_eq!(&got, full[k][j].as_ref().unwrap());
+            }
+        }
+    }
+
+    #[test]
+    fn single_cell_fast_path_with_dead_column() {
+        // The cell's whole column is dead plus nothing else: still one chain.
+        let n = 5;
+        let full = stripe_for(n, 64, 5);
+        let code = XCode::new(n).unwrap();
+        for k in 0..n - 2 {
+            for j in 0..n {
+                let got = code
+                    .reconstruct_cell(k, j, |r, c| if c == j { None } else { full[r][c].clone() })
+                    .unwrap();
+                assert_eq!(&got, full[k][j].as_ref().unwrap(), "k={k} j={j}");
+            }
+        }
+    }
+
+    #[test]
+    fn delta_linearity() {
+        // parity(new) = parity(old) ⊕ contributions of Δ — the property
+        // behind Aceso's delta-based reclamation.
+        let n = 5;
+        let code = XCode::new(n).unwrap();
+        let full = stripe_for(n, 32, 11);
+        let data_old: Vec<Vec<Vec<u8>>> = (0..n - 2)
+            .map(|k| (0..n).map(|j| full[k][j].clone().unwrap()).collect())
+            .collect();
+        let (mut diag, mut anti) = code.encode(&data_old).unwrap();
+
+        let mut data_new = data_old.clone();
+        let newv = vec![0xC3u8; 32];
+        let delta: Vec<u8> = data_old[1][3]
+            .iter()
+            .zip(&newv)
+            .map(|(a, b)| a ^ b)
+            .collect();
+        data_new[1][3] = newv;
+
+        let ((_, dc), (_, ac)) = code.parity_cells_for(1, 3);
+        xor_into(&mut diag[dc], &delta);
+        xor_into(&mut anti[ac], &delta);
+        let (d2, a2) = code.encode(&data_new).unwrap();
+        assert_eq!(diag, d2);
+        assert_eq!(anti, a2);
+    }
+
+    proptest! {
+        /// Any two-column erasure over random data reconstructs exactly.
+        #[test]
+        fn proptest_two_column_recovery(
+            seed in any::<u64>(),
+            len in 1usize..100,
+            c1 in 0usize..5,
+            c2 in 0usize..5,
+        ) {
+            let full = stripe_for(5, len, seed);
+            let mut s = full.clone();
+            for row in s.iter_mut() {
+                row[c1] = None;
+                row[c2] = None;
+            }
+            XCode::new(5).unwrap().reconstruct(&mut s).unwrap();
+            prop_assert_eq!(s, full);
+        }
+
+        /// Random scattered erasures of ≤ 2 cells always recover (they span
+        /// at most two columns).
+        #[test]
+        fn proptest_scattered_cells(
+            seed in any::<u64>(),
+            a in (0usize..5, 0usize..5),
+            b in (0usize..5, 0usize..5),
+        ) {
+            let full = stripe_for(5, 24, seed);
+            let mut s = full.clone();
+            s[a.0][a.1] = None;
+            s[b.0][b.1] = None;
+            XCode::new(5).unwrap().reconstruct(&mut s).unwrap();
+            prop_assert_eq!(s, full);
+        }
+    }
+}

@@ -1,0 +1,64 @@
+//! Behavioral tests of the FUSEE baseline's cost knobs.
+
+use aceso_fusee::{FuseeConfig, FuseeStore};
+
+/// Wide (16 B) slots double bucket-read bytes without changing semantics —
+/// the `+SLOT` factor-analysis step.
+#[test]
+fn wide_slots_cost_more_bytes_same_semantics() {
+    let mut read_bytes = [0u64; 2];
+    for (i, wide) in [false, true].into_iter().enumerate() {
+        let store = FuseeStore::launch(FuseeConfig {
+            wide_slots: wide,
+            ..FuseeConfig::small()
+        });
+        let mut c = store.client();
+        c.insert(b"wkey", b"wvalue").unwrap();
+        c.dm.reset_stats();
+        // A cache-invalidated search scans the buckets.
+        c.use_cache = false;
+        assert_eq!(c.search(b"wkey").unwrap().as_deref(), Some(&b"wvalue"[..]));
+        read_bytes[i] = c.dm.counters().snapshot().read_bytes;
+    }
+    assert!(
+        read_bytes[1] > read_bytes[0],
+        "wide slots must charge more bucket bytes: {read_bytes:?}"
+    );
+}
+
+/// The value cache returns stale-free results after foreign updates.
+#[test]
+fn value_cache_sees_foreign_updates() {
+    let store = FuseeStore::launch(FuseeConfig::small());
+    let mut a = store.client();
+    let mut b = store.client();
+    a.insert(b"fk", b"v1").unwrap();
+    assert_eq!(b.search(b"fk").unwrap().as_deref(), Some(&b"v1"[..]));
+    a.update(b"fk", b"v2").unwrap();
+    assert_eq!(
+        b.search(b"fk").unwrap().as_deref(),
+        Some(&b"v2"[..]),
+        "b's cached address is stale; validation must chase the new slot"
+    );
+}
+
+/// r=1 degenerates to no redundancy but still works.
+#[test]
+fn single_replica_mode_works() {
+    let store = FuseeStore::launch(FuseeConfig {
+        replicas: 1,
+        ..FuseeConfig::small()
+    });
+    let mut c = store.client();
+    for i in 0..200u32 {
+        let k = format!("r1-{i}");
+        c.insert(k.as_bytes(), k.as_bytes()).unwrap();
+    }
+    for i in (0..200u32).step_by(17) {
+        let k = format!("r1-{i}");
+        assert_eq!(
+            c.search(k.as_bytes()).unwrap().as_deref(),
+            Some(k.as_bytes())
+        );
+    }
+}

@@ -1,0 +1,82 @@
+//! Key hashing: two independent bucket hashes, a routing hash, and the
+//! 8-bit fingerprint stored in index slots.
+
+/// 64-bit FNV-1a.
+fn fnv1a(key: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in key {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// SplitMix64 finalizer, used to derive independent hashes from one seed.
+fn mix(mut x: u64) -> u64 {
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The two independent combined-bucket hashes of RACE hashing.
+pub fn hash_pair(key: &[u8]) -> (u64, u64) {
+    let h = fnv1a(key);
+    (mix(h), mix(h ^ 0xA5A5_A5A5_5A5A_5A5A))
+}
+
+/// The hash used to route a key to a memory node's index partition.
+///
+/// Deliberately independent of [`hash_pair`] so per-node load stays balanced
+/// regardless of bucket distribution.
+pub fn route_hash(key: &[u8]) -> u64 {
+    mix(fnv1a(key) ^ 0x1357_9BDF_0246_8ACE)
+}
+
+/// The 8-bit fingerprint stored in a slot's Atomic field to prune key
+/// comparisons during SEARCH.
+pub fn fingerprint(key: &[u8]) -> u8 {
+    let f = (mix(fnv1a(key) ^ 0xFEED_FACE_CAFE_BEEF) >> 56) as u8;
+    // Zero is reserved so an all-zero Atomic word always means "empty slot".
+    if f == 0 {
+        1
+    } else {
+        f
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hashes_are_deterministic() {
+        assert_eq!(hash_pair(b"key"), hash_pair(b"key"));
+        assert_eq!(route_hash(b"key"), route_hash(b"key"));
+        assert_eq!(fingerprint(b"key"), fingerprint(b"key"));
+    }
+
+    #[test]
+    fn pair_is_independent() {
+        let (a, b) = hash_pair(b"some key");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn fingerprint_never_zero() {
+        for i in 0..10_000u32 {
+            assert_ne!(fingerprint(&i.to_le_bytes()), 0);
+        }
+    }
+
+    #[test]
+    fn route_spreads_keys() {
+        // 10k keys over 5 nodes: each node gets a reasonable share.
+        let mut counts = [0usize; 5];
+        for i in 0..10_000u32 {
+            counts[(route_hash(&i.to_le_bytes()) % 5) as usize] += 1;
+        }
+        for c in counts {
+            assert!((1600..2400).contains(&c), "unbalanced: {counts:?}");
+        }
+    }
+}

@@ -1,0 +1,170 @@
+//! On-memory-node layout of one index partition.
+//!
+//! ```text
+//! base ┌───────────────────────────────────────────────┐
+//!      │ group 0: bucket₀ | overflow | bucket₁  (384 B)│
+//!      │ group 1: …                                    │
+//!      │ …                                             │
+//!      ├───────────────────────────────────────────────┤
+//!      │ Index Version (8 B)                           │
+//!      └───────────────────────────────────────────────┘
+//! ```
+//!
+//! A *combined bucket* is a main bucket plus the shared overflow bucket:
+//! combined 0 spans bytes `[0, 256)` of the group, combined 1 spans
+//! `[128, 384)`. Each is contiguous, so reading one costs one `RDMA_READ`.
+
+use crate::hash::hash_pair;
+use crate::slot::SLOT_BYTES;
+
+/// Slots per bucket.
+pub const BUCKET_SLOTS: u64 = 8;
+/// Bytes per bucket.
+pub const BUCKET_BYTES: u64 = BUCKET_SLOTS * SLOT_BYTES;
+/// Buckets per group (main₀, overflow, main₁).
+pub const GROUP_BUCKETS: u64 = 3;
+/// Bytes per group.
+pub const GROUP_BYTES: u64 = GROUP_BUCKETS * BUCKET_BYTES;
+/// Slots per combined bucket (main + overflow).
+pub const COMBINED_SLOTS: u64 = 2 * BUCKET_SLOTS;
+/// Bytes per combined bucket.
+pub const COMBINED_BYTES: u64 = 2 * BUCKET_BYTES;
+
+/// Geometry of one MN's index area.
+#[derive(Clone, Copy, Debug)]
+pub struct IndexLayout {
+    /// Byte offset of the index area inside the node's region.
+    pub base: u64,
+    /// Number of bucket groups.
+    pub num_groups: u64,
+}
+
+impl IndexLayout {
+    /// Creates a layout with `num_groups` groups at `base`.
+    pub fn new(base: u64, num_groups: u64) -> Self {
+        assert!(num_groups > 0, "index needs at least one group");
+        IndexLayout { base, num_groups }
+    }
+
+    /// Sizes a layout to hold roughly `keys` keys at `load_factor`.
+    pub fn with_capacity(base: u64, keys: u64, load_factor: f64) -> Self {
+        let slots = (keys as f64 / load_factor).ceil() as u64;
+        // 24 usable slots per group (3 buckets × 8).
+        let groups = slots.div_ceil(GROUP_BUCKETS * BUCKET_SLOTS).max(1);
+        IndexLayout::new(base, groups)
+    }
+
+    /// Total bytes of the index area including the trailing Index Version.
+    pub fn size_bytes(&self) -> u64 {
+        self.num_groups * GROUP_BYTES + 8
+    }
+
+    /// Total slots in the table.
+    pub fn total_slots(&self) -> u64 {
+        self.num_groups * GROUP_BUCKETS * BUCKET_SLOTS
+    }
+
+    /// Byte offset (in the region) of the trailing Index Version word.
+    pub fn index_version_offset(&self) -> u64 {
+        self.base + self.num_groups * GROUP_BYTES
+    }
+
+    /// Byte offset of group `g`.
+    pub fn group_offset(&self, g: u64) -> u64 {
+        debug_assert!(g < self.num_groups);
+        self.base + g * GROUP_BYTES
+    }
+
+    /// Byte offset of combined bucket `c` (0 or 1) of group `g`.
+    pub fn combined_offset(&self, g: u64, c: u64) -> u64 {
+        debug_assert!(c < 2);
+        self.group_offset(g) + c * BUCKET_BYTES
+    }
+
+    /// Byte offset of slot `s` (0..16) within combined bucket `c` of group
+    /// `g`.
+    pub fn slot_offset(&self, g: u64, c: u64, s: u64) -> u64 {
+        debug_assert!(s < COMBINED_SLOTS);
+        self.combined_offset(g, c) + s * SLOT_BYTES
+    }
+
+    /// The two (group, combined) coordinates for `key`.
+    pub fn buckets_for(&self, key: &[u8]) -> [(u64, u64); 2] {
+        let (h1, h2) = hash_pair(key);
+        [(h1 % self.num_groups, 0), (h2 % self.num_groups, 1)]
+    }
+
+    /// Whether `offset` (region byte offset) lies inside a slot's Atomic
+    /// word, and if so which slot; used by recovery assertions and tests.
+    pub fn locate_slot(&self, offset: u64) -> Option<(u64, u64)> {
+        if offset < self.base || offset >= self.base + self.num_groups * GROUP_BYTES {
+            return None;
+        }
+        let rel = offset - self.base;
+        let g = rel / GROUP_BYTES;
+        let in_group = rel % GROUP_BYTES;
+        Some((g, in_group / SLOT_BYTES))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_add_up() {
+        let l = IndexLayout::new(4096, 10);
+        assert_eq!(l.size_bytes(), 10 * 384 + 8);
+        assert_eq!(l.index_version_offset(), 4096 + 3840);
+        assert_eq!(l.total_slots(), 240);
+    }
+
+    #[test]
+    fn combined_buckets_overlap_on_overflow() {
+        let l = IndexLayout::new(0, 4);
+        let g = 2;
+        // Combined 0 covers buckets 0-1, combined 1 covers buckets 1-2.
+        assert_eq!(l.combined_offset(g, 0), g * 384);
+        assert_eq!(l.combined_offset(g, 1), g * 384 + 128);
+        // Slot 8 of combined 0 and slot 0 of combined 1 are the same slot
+        // (the shared overflow bucket).
+        assert_eq!(l.slot_offset(g, 0, 8), l.slot_offset(g, 1, 0));
+    }
+
+    #[test]
+    fn capacity_sizing() {
+        let l = IndexLayout::with_capacity(0, 1_000_000, 0.75);
+        assert!(l.total_slots() as f64 >= 1_000_000.0 / 0.75);
+        // But not more than ~one group over.
+        assert!(l.total_slots() as f64 <= 1_000_000.0 / 0.75 + 24.0 + 1.0);
+    }
+
+    #[test]
+    fn buckets_for_within_range() {
+        let l = IndexLayout::new(0, 7);
+        for i in 0..1000u32 {
+            for (g, c) in l.buckets_for(&i.to_le_bytes()) {
+                assert!(g < 7);
+                assert!(c < 2);
+            }
+        }
+    }
+
+    #[test]
+    fn locate_slot_roundtrip() {
+        let l = IndexLayout::new(128, 5);
+        for g in 0..5 {
+            for c in 0..2 {
+                for s in 0..16 {
+                    let off = l.slot_offset(g, c, s);
+                    let (lg, ls) = l.locate_slot(off).unwrap();
+                    assert_eq!(lg, g);
+                    // Combined slot index → group slot index.
+                    assert_eq!(ls, c * 8 + s);
+                }
+            }
+        }
+        assert!(l.locate_slot(0).is_none());
+        assert!(l.locate_slot(l.index_version_offset()).is_none());
+    }
+}

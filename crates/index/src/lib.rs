@@ -1,0 +1,32 @@
+//! The hash index of Aceso: a RACE-hashing-derived remote index with
+//! 16-byte versioned slots.
+//!
+//! Aceso adopts RACE hashing for its index (§3.2) but extends the 8 B slot
+//! to 16 B: an *Atomic* half modified only by `RDMA_CAS` (8-bit fingerprint,
+//! 48-bit KV address, 8-bit version) and a *Meta* half holding infrequently
+//! changing information (8-bit KV length in 64 B units, 56-bit epoch whose
+//! low bit doubles as a lock). Together `epoch ≪ 8 | version` form the
+//! logical 64-bit **Slot Version** that orders all KV pairs ever committed
+//! to a slot — the foundation of versioning-based index recovery.
+//!
+//! Layout: buckets of 8 slots; groups of 3 buckets forming 2 *combined
+//! buckets* (main₀+overflow and main₁+overflow) as in RACE hashing; two
+//! independent hashes map a key to one combined bucket each, read with one
+//! doorbell batch of two `RDMA_READ`s. A 64-bit **Index Version** lives at
+//! the end of each MN's index area (§3.2.3).
+//!
+//! Simplification documented in `DESIGN.md`: the index is pre-sized (no
+//! online directory expansion); the paper's evaluation also runs on a
+//! pre-sized index.
+
+#![forbid(unsafe_code)]
+
+pub mod hash;
+pub mod layout;
+pub mod remote;
+pub mod slot;
+
+pub use hash::{fingerprint, hash_pair, route_hash};
+pub use layout::IndexLayout;
+pub use remote::{RemoteIndex, SlotRef};
+pub use slot::{SlotAtomic, SlotMeta, SLOT_BYTES};

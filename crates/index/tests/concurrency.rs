@@ -1,0 +1,154 @@
+//! Concurrency tests of the remote index: CAS exclusivity on slots and
+//! snapshot consistency under concurrent commits.
+
+use aceso_index::{fingerprint, IndexLayout, RemoteIndex, SlotAtomic};
+use aceso_rdma::{Cluster, ClusterConfig, CostModel, NodeId};
+use std::sync::Arc;
+
+fn setup(groups: u64) -> (Arc<Cluster>, RemoteIndex) {
+    let cluster = Cluster::new(ClusterConfig {
+        num_mns: 1,
+        region_len: 8 << 20,
+        cost: CostModel::default(),
+    });
+    (
+        cluster.clone(),
+        RemoteIndex::new(NodeId(0), IndexLayout::new(0, groups)),
+    )
+}
+
+/// Racing inserts into the same empty slot: exactly one CAS wins.
+#[test]
+fn concurrent_insert_cas_has_one_winner() {
+    let (cluster, idx) = setup(4);
+    let addr = idx.slot_addr(0, 3);
+    let winners: usize = (0..8)
+        .map(|t| {
+            let cluster = Arc::clone(&cluster);
+            std::thread::spawn(move || {
+                let dm = cluster.client();
+                let new = SlotAtomic {
+                    fp: 10 + t as u8,
+                    addr48: 64 * (t as u64 + 1),
+                    ver: 1,
+                };
+                let prev = idx
+                    .cas_atomic(&dm, addr, SlotAtomic::default(), new)
+                    .unwrap();
+                usize::from(prev.is_empty())
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .sum();
+    assert_eq!(winners, 1);
+    // The slot holds exactly one of the attempted values.
+    let dm = cluster.client();
+    let s = idx.read_slot(&dm, addr).unwrap();
+    assert!(s.atomic.fp >= 10 && s.atomic.fp < 18);
+    assert_eq!(s.atomic.addr48 % 64, 0);
+}
+
+/// Snapshots taken during a CAS storm contain only values that were
+/// actually written (no torn words).
+#[test]
+fn snapshot_never_tears_under_cas_storm() {
+    let (cluster, idx) = setup(8);
+    let addr = idx.slot_addr(2, 5);
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let writer = {
+        let cluster = Arc::clone(&cluster);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let dm = cluster.client();
+            let mut cur = SlotAtomic::default();
+            for i in 1..50_000u64 {
+                // fp and addr move in lockstep: fp = i mod 200 + 1,
+                // addr units = same i — a torn snapshot would break the
+                // relation.
+                let next = SlotAtomic {
+                    fp: (i % 200 + 1) as u8,
+                    addr48: i,
+                    ver: i as u8,
+                };
+                let prev = idx.cas_atomic(&dm, addr, cur, next).unwrap();
+                assert_eq!(prev, cur, "single writer must never lose its CAS");
+                cur = next;
+                if stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    break;
+                }
+            }
+        })
+    };
+    let region = cluster.node(NodeId(0)).unwrap().region.clone();
+    for _ in 0..200 {
+        let snap = idx.snapshot(&region);
+        for (_, _, atomic, _) in idx.slots_in_snapshot(&snap) {
+            if atomic.is_empty() {
+                continue;
+            }
+            assert_eq!(
+                atomic.fp as u64,
+                atomic.addr48 % 200 + 1,
+                "snapshot captured a torn slot: {atomic:?}"
+            );
+            assert_eq!(atomic.ver, atomic.addr48 as u8);
+        }
+    }
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    writer.join().unwrap();
+}
+
+/// Scans are stable under concurrent inserts elsewhere in the table.
+#[test]
+fn scan_survives_concurrent_population() {
+    let (cluster, idx) = setup(64);
+    let key = b"stable-key";
+    let fp = fingerprint(key);
+    let dm = cluster.client();
+    let target = idx.scan(&dm, key, fp).unwrap().empties[0];
+    idx.cas_atomic(
+        &dm,
+        target,
+        SlotAtomic::default(),
+        SlotAtomic {
+            fp,
+            addr48: 64,
+            ver: 1,
+        },
+    )
+    .unwrap();
+
+    let fill = {
+        let cluster = Arc::clone(&cluster);
+        std::thread::spawn(move || {
+            let dm = cluster.client();
+            for i in 0..3000u32 {
+                let k = format!("filler-{i}");
+                let kfp = fingerprint(k.as_bytes());
+                let scan = idx.scan(&dm, k.as_bytes(), kfp).unwrap();
+                if let Some(&slot) = scan.empties.first() {
+                    let _ = idx.cas_atomic(
+                        &dm,
+                        slot,
+                        SlotAtomic::default(),
+                        SlotAtomic {
+                            fp: kfp,
+                            addr48: 64 * (i as u64 + 2),
+                            ver: 1,
+                        },
+                    );
+                }
+            }
+        })
+    };
+    for _ in 0..2000 {
+        let scan = idx.scan(&dm, key, fp).unwrap();
+        assert!(
+            scan.matches.iter().any(|m| m.atomic.addr48 == 64),
+            "the committed slot must stay visible"
+        );
+    }
+    fill.join().unwrap();
+}

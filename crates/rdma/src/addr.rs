@@ -1,0 +1,136 @@
+//! Global addressing of the disaggregated memory pool.
+
+use core::fmt;
+
+/// Identifier of a memory node (MN) inside a cluster.
+///
+/// Node ids are dense and assigned by the [`crate::cluster::Cluster`] at
+/// construction time. When a crashed MN is replaced during recovery, the
+/// replacement receives a *fresh* id so stale pointers to the dead node keep
+/// failing loudly instead of silently reading the replacement's memory.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Debug)]
+pub struct NodeId(pub u16);
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "mn{}", self.0)
+    }
+}
+
+/// A global address in the memory pool: `(node, byte offset)`.
+///
+/// The paper packs global addresses into 48 bits inside an index slot; this
+/// simulation keeps the two components separate in APIs and provides
+/// [`GlobalAddr::pack48`]/[`GlobalAddr::unpack48`] for the on-"wire" slot
+/// encoding (16-bit node id, 32-bit offset in 64-byte units, which covers
+/// 256 GB per MN — more than the paper's 48 GB per MN).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct GlobalAddr {
+    /// The memory node holding the bytes.
+    pub node: NodeId,
+    /// Byte offset within the node's registered region.
+    pub offset: u64,
+}
+
+impl GlobalAddr {
+    /// A sentinel "null" address (node `u16::MAX`, offset 0).
+    pub const NULL: GlobalAddr = GlobalAddr {
+        node: NodeId(u16::MAX),
+        offset: 0,
+    };
+
+    /// Creates a new global address.
+    #[inline]
+    pub const fn new(node: NodeId, offset: u64) -> Self {
+        GlobalAddr { node, offset }
+    }
+
+    /// Returns `true` if this is the null sentinel.
+    #[inline]
+    pub const fn is_null(&self) -> bool {
+        self.node.0 == u16::MAX
+    }
+
+    /// Returns the address `delta` bytes past this one on the same node.
+    #[inline]
+    pub const fn add(&self, delta: u64) -> Self {
+        GlobalAddr {
+            node: self.node,
+            offset: self.offset + delta,
+        }
+    }
+
+    /// Packs the address into 48 bits for storage inside an index slot.
+    ///
+    /// The offset must be 64-byte aligned (index slots only ever point at
+    /// KV pairs, which the allocator aligns to 64 B) and below 2^38.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the offset is unaligned or out of range, both of which
+    /// indicate allocator bugs rather than recoverable conditions.
+    #[inline]
+    pub fn pack48(&self) -> u64 {
+        assert_eq!(self.offset % 64, 0, "packed addresses must be 64B-aligned");
+        let units = self.offset / 64;
+        assert!(units < (1 << 32), "offset out of 48-bit packing range");
+        ((self.node.0 as u64) << 32) | units
+    }
+
+    /// Unpacks a 48-bit slot encoding produced by [`GlobalAddr::pack48`].
+    #[inline]
+    pub fn unpack48(packed: u64) -> Self {
+        let node = NodeId(((packed >> 32) & 0xFFFF) as u16);
+        let offset = (packed & 0xFFFF_FFFF) * 64;
+        GlobalAddr { node, offset }
+    }
+}
+
+impl fmt::Display for GlobalAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_null() {
+            write!(f, "null")
+        } else {
+            write!(f, "{}+{:#x}", self.node, self.offset)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_roundtrip() {
+        let a = GlobalAddr::new(NodeId(3), 2 * 1024 * 1024 + 192);
+        let b = GlobalAddr::unpack48(a.pack48());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn pack_roundtrip_extremes() {
+        for (node, off) in [(0u16, 0u64), (4095, 64), (7, ((1u64 << 32) - 1) * 64)] {
+            let a = GlobalAddr::new(NodeId(node), off);
+            assert_eq!(GlobalAddr::unpack48(a.pack48()), a);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn pack_rejects_unaligned() {
+        GlobalAddr::new(NodeId(0), 63).pack48();
+    }
+
+    #[test]
+    fn null_is_null() {
+        assert!(GlobalAddr::NULL.is_null());
+        assert!(!GlobalAddr::new(NodeId(0), 0).is_null());
+    }
+
+    #[test]
+    fn add_offsets() {
+        let a = GlobalAddr::new(NodeId(1), 128);
+        assert_eq!(a.add(64).offset, 192);
+        assert_eq!(a.add(64).node, NodeId(1));
+    }
+}

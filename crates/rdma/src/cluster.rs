@@ -1,0 +1,220 @@
+//! The memory pool: a cluster of memory nodes plus the master.
+
+use crate::addr::NodeId;
+use crate::cost::CostModel;
+use crate::error::{RdmaError, Result};
+use crate::master::Master;
+use crate::region::Region;
+use crate::stats::VerbCounters;
+use crate::verbs::DmClient;
+use parking_lot::RwLock;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A memory node (MN): one registered region behind one simulated RNIC.
+pub struct MemoryNode {
+    /// This node's id.
+    pub id: NodeId,
+    /// The registered memory region.
+    pub region: Arc<Region>,
+    alive: AtomicBool,
+    /// Foreground (client-initiated) traffic through this node's NIC.
+    pub traffic: VerbCounters,
+    /// Background (server/recovery-initiated) traffic through this NIC.
+    pub background: VerbCounters,
+}
+
+impl MemoryNode {
+    fn new(id: NodeId, region_len: usize) -> Self {
+        MemoryNode {
+            id,
+            region: Arc::new(Region::new(id, region_len)),
+            alive: AtomicBool::new(true),
+            traffic: VerbCounters::new(),
+            background: VerbCounters::new(),
+        }
+    }
+
+    /// Whether this node is currently reachable.
+    #[inline]
+    pub fn is_alive(&self) -> bool {
+        self.alive.load(Ordering::Acquire)
+    }
+
+    /// Fails the node: all subsequent verbs return `NodeUnreachable`.
+    pub fn kill(&self) {
+        self.alive.store(false, Ordering::Release);
+    }
+}
+
+/// Static configuration of a simulated cluster.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of memory nodes (the paper's coding group size; default 5).
+    pub num_mns: usize,
+    /// Registered region size per MN in bytes.
+    pub region_len: usize,
+    /// NIC cost model used by the performance reports.
+    pub cost: CostModel,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            num_mns: 5,
+            region_len: 256 << 20,
+            cost: CostModel::default(),
+        }
+    }
+}
+
+/// A cluster: the memory pool, the master, and the cost model.
+///
+/// The cluster is the root object of a simulation. Memory nodes are appended,
+/// never removed — a crashed node keeps its slot (so stale [`NodeId`]s fail
+/// loudly) and its replacement gets a fresh id, matching the paper's model of
+/// "start a new server on an idle MN".
+pub struct Cluster {
+    nodes: RwLock<Vec<Arc<MemoryNode>>>,
+    /// The reliable master providing the membership service.
+    pub master: Arc<Master>,
+    /// The NIC cost model shared by all performance reports.
+    pub cost: CostModel,
+}
+
+impl Cluster {
+    /// Builds a cluster with `config.num_mns` fresh memory nodes.
+    pub fn new(config: ClusterConfig) -> Arc<Self> {
+        let master = Arc::new(Master::new());
+        let nodes: Vec<Arc<MemoryNode>> = (0..config.num_mns)
+            .map(|i| Arc::new(MemoryNode::new(NodeId(i as u16), config.region_len)))
+            .collect();
+        for n in &nodes {
+            master.register(n.id);
+        }
+        Arc::new(Cluster {
+            nodes: RwLock::new(nodes),
+            master,
+            cost: config.cost,
+        })
+    }
+
+    /// Returns the node handle for `id`, whether alive or crashed.
+    ///
+    /// Most callers want [`Cluster::node`], which additionally checks
+    /// liveness; this accessor exists for recovery tooling and tests.
+    pub fn node_any(&self, id: NodeId) -> Option<Arc<MemoryNode>> {
+        self.nodes.read().get(id.0 as usize).cloned()
+    }
+
+    /// Returns the node handle for `id` if it is alive.
+    pub fn node(&self, id: NodeId) -> Result<Arc<MemoryNode>> {
+        let n = self.node_any(id).ok_or(RdmaError::NodeUnreachable(id))?;
+        if n.is_alive() {
+            Ok(n)
+        } else {
+            Err(RdmaError::NodeUnreachable(id))
+        }
+    }
+
+    /// All node handles, including crashed ones, in id order.
+    pub fn nodes(&self) -> Vec<Arc<MemoryNode>> {
+        self.nodes.read().clone()
+    }
+
+    /// Number of nodes ever added.
+    pub fn len(&self) -> usize {
+        self.nodes.read().len()
+    }
+
+    /// Returns `true` if the cluster has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.read().is_empty()
+    }
+
+    /// Injects a fail-stop crash of `id`: verbs start failing and the master
+    /// broadcasts the failure to subscribers.
+    pub fn kill_node(&self, id: NodeId) {
+        if let Some(n) = self.node_any(id) {
+            n.kill();
+            self.master.mark_failed(id);
+        }
+    }
+
+    /// Adds a fresh memory node (the recovery target) and returns its handle.
+    pub fn add_node(&self, region_len: usize) -> Arc<MemoryNode> {
+        let mut g = self.nodes.write();
+        let id = NodeId(g.len() as u16);
+        let n = Arc::new(MemoryNode::new(id, region_len));
+        g.push(Arc::clone(&n));
+        drop(g);
+        self.master.register(id);
+        n
+    }
+
+    /// Creates a foreground client handle (a compute-node thread).
+    pub fn client(self: &Arc<Self>) -> DmClient {
+        DmClient::new(Arc::clone(self), false)
+    }
+
+    /// Creates a background client handle whose traffic is accounted to the
+    /// per-node background counters (MN servers, checkpointing, recovery).
+    pub fn background_client(self: &Arc<Self>) -> DmClient {
+        DmClient::new(Arc::clone(self), true)
+    }
+
+    /// Resets all per-node traffic counters (start of a measurement phase).
+    pub fn reset_traffic(&self) {
+        for n in self.nodes.read().iter() {
+            n.traffic.reset();
+            n.background.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_kill() {
+        let c = Cluster::new(ClusterConfig {
+            num_mns: 3,
+            region_len: 4096,
+            cost: CostModel::default(),
+        });
+        assert_eq!(c.len(), 3);
+        assert!(c.node(NodeId(2)).is_ok());
+        c.kill_node(NodeId(2));
+        assert!(matches!(
+            c.node(NodeId(2)),
+            Err(RdmaError::NodeUnreachable(NodeId(2)))
+        ));
+        assert!(!c.master.is_alive(NodeId(2)));
+        // The handle is still reachable for forensic access.
+        assert!(c.node_any(NodeId(2)).is_some());
+    }
+
+    #[test]
+    fn add_node_gets_fresh_id() {
+        let c = Cluster::new(ClusterConfig {
+            num_mns: 2,
+            region_len: 4096,
+            cost: CostModel::default(),
+        });
+        c.kill_node(NodeId(0));
+        let n = c.add_node(4096);
+        assert_eq!(n.id, NodeId(2));
+        assert!(c.master.is_alive(NodeId(2)));
+    }
+
+    #[test]
+    fn unknown_node_is_unreachable() {
+        let c = Cluster::new(ClusterConfig {
+            num_mns: 1,
+            region_len: 4096,
+            cost: CostModel::default(),
+        });
+        assert!(c.node(NodeId(9)).is_err());
+    }
+}

@@ -1,0 +1,58 @@
+//! Error types for the simulated fabric.
+
+use crate::addr::NodeId;
+use core::fmt;
+
+/// Convenience alias used throughout the workspace.
+pub type Result<T> = core::result::Result<T, RdmaError>;
+
+/// Errors surfaced by verbs and RPC on the simulated fabric.
+///
+/// Under the paper's fail-stop model the only runtime failure a client
+/// observes is an unreachable node; the remaining variants are programming
+/// errors (bad addresses) or shutdown races, kept as errors rather than
+/// panics so the store's failure-handling paths can exercise them.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum RdmaError {
+    /// The target memory node has crashed (fail-stop) or been removed.
+    NodeUnreachable(NodeId),
+    /// The address is outside the node's registered region.
+    OutOfBounds {
+        /// Offending node.
+        node: NodeId,
+        /// Requested byte offset.
+        offset: u64,
+        /// Requested access length in bytes.
+        len: usize,
+        /// Size of the registered region in bytes.
+        region: usize,
+    },
+    /// An atomic verb was issued on a non-8-byte-aligned address.
+    Unaligned(u64),
+    /// The RPC server side has shut down.
+    RpcClosed,
+    /// The RPC call timed out (used by lease/membership machinery).
+    RpcTimeout,
+}
+
+impl fmt::Display for RdmaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RdmaError::NodeUnreachable(n) => write!(f, "node {n} unreachable"),
+            RdmaError::OutOfBounds {
+                node,
+                offset,
+                len,
+                region,
+            } => write!(
+                f,
+                "access [{offset:#x}, +{len}) out of bounds on {node} (region {region} bytes)"
+            ),
+            RdmaError::Unaligned(off) => write!(f, "atomic verb on unaligned offset {off:#x}"),
+            RdmaError::RpcClosed => write!(f, "rpc endpoint closed"),
+            RdmaError::RpcTimeout => write!(f, "rpc timed out"),
+        }
+    }
+}
+
+impl std::error::Error for RdmaError {}

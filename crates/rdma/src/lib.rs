@@ -1,0 +1,45 @@
+//! A simulated RDMA-connected disaggregated-memory (DM) fabric.
+//!
+//! The Aceso paper runs on a CloudLab testbed with 56 Gbps ConnectX-3 RNICs.
+//! This crate replaces that hardware with an in-process substitute that keeps
+//! the two properties every protocol in the paper depends on:
+//!
+//! 1. **Real one-sided semantics.** Memory-node regions are arrays of
+//!    [`std::sync::atomic::AtomicU64`]; `RDMA_READ`/`RDMA_WRITE` are per-word
+//!    atomic accesses and `RDMA_CAS`/`RDMA_FAA` are genuine hardware atomics
+//!    on 8-byte-aligned words. Concurrent clients race for real, so the
+//!    linearizability arguments of the store are exercised, not mocked.
+//! 2. **A calibrated NIC performance envelope.** Every verb a client issues
+//!    is recorded into per-client and per-node counters. The [`cost`] module
+//!    converts those *measured* profiles into throughput and latency numbers
+//!    using an analytic bottleneck model of the RNIC (IOPS bound, atomic-op
+//!    bound, bandwidth bound, client round-trip bound).
+//!
+//! The crate additionally provides the surrounding datacenter scaffolding the
+//! paper assumes: a [`cluster::Cluster`] of memory nodes, a lease-based
+//! [`master::Master`] membership service that notifies clients of fail-stop
+//! crashes, failure injection, and a typed RPC transport standing in for
+//! RDMA UD send/recv.
+
+#![forbid(unsafe_code)]
+
+pub mod addr;
+pub mod cluster;
+pub mod cost;
+pub mod error;
+pub mod master;
+pub mod region;
+pub mod rpc;
+pub mod stats;
+pub mod verbs;
+
+pub use addr::{GlobalAddr, NodeId};
+pub use cluster::{Cluster, ClusterConfig, MemoryNode};
+pub use cost::{Bottleneck, CostModel, LatencyReport, PhaseMeasurement, PhaseReport};
+pub use error::{RdmaError, Result};
+pub use master::{FailureEvent, Master, MembershipView};
+pub use region::Region;
+pub use rpc::rpc_channel;
+pub use rpc::{Responder, RpcClient, RpcServer};
+pub use stats::{OpKind, OpRecord, OpStats, VerbCounters};
+pub use verbs::{DmClient, WriteBatch};

@@ -1,0 +1,181 @@
+//! Typed RPC transport standing in for RDMA UD send/recv queue pairs.
+//!
+//! Aceso's clients talk to MN servers over RDMA unreliable-datagram RPC for
+//! coarse-grained management (block allocation, block-filled notifications,
+//! free-bitmap flushes). This module provides the equivalent as typed
+//! channels; cost accounting happens in [`crate::verbs::DmClient::rpc`].
+
+use crate::error::{RdmaError, Result};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use std::time::Duration;
+
+/// One in-flight call: the request plus a oneshot reply channel.
+pub struct Envelope<Req, Resp> {
+    /// The request payload.
+    pub req: Req,
+    reply: Sender<Resp>,
+}
+
+impl<Req, Resp> Envelope<Req, Resp> {
+    /// Sends the response back to the caller.
+    pub fn respond(self, resp: Resp) {
+        // A vanished caller (client crash) is fine under fail-stop.
+        let _ = self.reply.send(resp);
+    }
+
+    /// Splits into the request and a responder (lets servers move the
+    /// request out before computing the reply).
+    pub fn into_parts(self) -> (Req, Responder<Resp>) {
+        (self.req, Responder { reply: self.reply })
+    }
+}
+
+/// The reply half of a split [`Envelope`].
+pub struct Responder<Resp> {
+    reply: Sender<Resp>,
+}
+
+impl<Resp> Responder<Resp> {
+    /// Sends the response; a vanished caller is ignored (fail-stop model).
+    pub fn send(self, resp: Resp) {
+        let _ = self.reply.send(resp);
+    }
+}
+
+/// Client end of an RPC channel.
+pub struct RpcClient<Req, Resp> {
+    tx: Sender<Envelope<Req, Resp>>,
+}
+
+impl<Req, Resp> Clone for RpcClient<Req, Resp> {
+    fn clone(&self) -> Self {
+        RpcClient {
+            tx: self.tx.clone(),
+        }
+    }
+}
+
+impl<Req: Send, Resp: Send> RpcClient<Req, Resp> {
+    /// Issues a blocking call and waits for the response.
+    pub fn call(&self, req: Req) -> Result<Resp> {
+        let (reply, rx) = unbounded();
+        self.tx
+            .send(Envelope { req, reply })
+            .map_err(|_| RdmaError::RpcClosed)?;
+        rx.recv().map_err(|_| RdmaError::RpcClosed)
+    }
+
+    /// Fire-and-forget send: no reply is awaited. Used for asynchronous
+    /// replication flows that on real hardware are one-sided `RDMA_WRITE`s
+    /// (Meta Area replication, §3.1) — waiting would serialize servers
+    /// against each other.
+    pub fn cast(&self, req: Req) -> Result<()> {
+        let (reply, _discard) = unbounded();
+        self.tx
+            .send(Envelope { req, reply })
+            .map_err(|_| RdmaError::RpcClosed)
+    }
+
+    /// Issues a call with a timeout (used by failure-handling paths that must
+    /// not block on a dead server).
+    pub fn call_timeout(&self, req: Req, timeout: Duration) -> Result<Resp> {
+        let (reply, rx) = unbounded();
+        self.tx
+            .send(Envelope { req, reply })
+            .map_err(|_| RdmaError::RpcClosed)?;
+        rx.recv_timeout(timeout).map_err(|e| match e {
+            crossbeam::channel::RecvTimeoutError::Timeout => RdmaError::RpcTimeout,
+            crossbeam::channel::RecvTimeoutError::Disconnected => RdmaError::RpcClosed,
+        })
+    }
+}
+
+/// Server end of an RPC channel.
+pub struct RpcServer<Req, Resp> {
+    rx: Receiver<Envelope<Req, Resp>>,
+}
+
+impl<Req: Send, Resp: Send> RpcServer<Req, Resp> {
+    /// Blocks until a request arrives or all clients have disconnected.
+    pub fn recv(&self) -> Result<Envelope<Req, Resp>> {
+        self.rx.recv().map_err(|_| RdmaError::RpcClosed)
+    }
+
+    /// Waits up to `timeout` for a request.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Envelope<Req, Resp>> {
+        self.rx.recv_timeout(timeout).map_err(|e| match e {
+            crossbeam::channel::RecvTimeoutError::Timeout => RdmaError::RpcTimeout,
+            crossbeam::channel::RecvTimeoutError::Disconnected => RdmaError::RpcClosed,
+        })
+    }
+
+    /// Non-blocking poll for a request.
+    pub fn try_recv(&self) -> Option<Envelope<Req, Resp>> {
+        self.rx.try_recv().ok()
+    }
+}
+
+/// Creates a connected RPC client/server pair.
+pub fn rpc_channel<Req: Send, Resp: Send>() -> (RpcClient<Req, Resp>, RpcServer<Req, Resp>) {
+    let (tx, rx) = unbounded();
+    (RpcClient { tx }, RpcServer { rx })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn call_and_respond() {
+        let (cl, sv) = rpc_channel::<u32, u32>();
+        let t = std::thread::spawn(move || {
+            let env = sv.recv().unwrap();
+            let v = env.req;
+            env.respond(v * 2);
+        });
+        assert_eq!(cl.call(21).unwrap(), 42);
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn closed_server_errors() {
+        let (cl, sv) = rpc_channel::<u32, u32>();
+        drop(sv);
+        assert!(matches!(cl.call(1), Err(RdmaError::RpcClosed)));
+    }
+
+    #[test]
+    fn timeout_fires() {
+        let (cl, _sv) = rpc_channel::<u32, u32>();
+        assert!(matches!(
+            cl.call_timeout(1, Duration::from_millis(10)),
+            Err(RdmaError::RpcTimeout)
+        ));
+    }
+
+    #[test]
+    fn many_clients_one_server() {
+        let (cl, sv) = rpc_channel::<u32, u32>();
+        let t = std::thread::spawn(move || {
+            for _ in 0..20 {
+                let env = sv.recv().unwrap();
+                let v = env.req;
+                env.respond(v + 1);
+            }
+        });
+        let clients: Vec<_> = (0..4)
+            .map(|i| {
+                let cl = cl.clone();
+                std::thread::spawn(move || {
+                    for j in 0..5 {
+                        assert_eq!(cl.call(i * 10 + j).unwrap(), i * 10 + j + 1);
+                    }
+                })
+            })
+            .collect();
+        for c in clients {
+            c.join().unwrap();
+        }
+        t.join().unwrap();
+    }
+}

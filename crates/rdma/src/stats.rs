@@ -1,0 +1,288 @@
+//! Verb accounting: the raw material of the performance model.
+//!
+//! Every verb issued through a [`crate::verbs::DmClient`] is counted twice:
+//! once against the issuing client (to build per-operation profiles and
+//! latency distributions) and once against the target memory node (to model
+//! NIC saturation and the interference of background traffic such as
+//! checkpoint transmission). The [`crate::cost`] module consumes these
+//! counters; nothing here touches wall-clock time, so results are
+//! deterministic under a fixed seed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The kind of KV operation a profile record describes.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum OpKind {
+    /// Insert of a fresh key.
+    Insert,
+    /// Update of an existing key.
+    Update,
+    /// Point lookup.
+    Search,
+    /// Deletion.
+    Delete,
+}
+
+impl OpKind {
+    /// All four kinds, in the paper's figure order.
+    pub const ALL: [OpKind; 4] = [
+        OpKind::Insert,
+        OpKind::Update,
+        OpKind::Search,
+        OpKind::Delete,
+    ];
+
+    /// The paper's label for the operation.
+    pub fn name(&self) -> &'static str {
+        match self {
+            OpKind::Insert => "INSERT",
+            OpKind::Update => "UPDATE",
+            OpKind::Search => "SEARCH",
+            OpKind::Delete => "DELETE",
+        }
+    }
+}
+
+/// Monotonic counters of verbs and bytes, shared by reference.
+///
+/// One instance exists per client and one per memory node; background
+/// (server-initiated) traffic is kept in a separate instance per node so the
+/// cost model can subtract it from foreground capacity.
+#[derive(Default)]
+pub struct VerbCounters {
+    /// Number of one-sided READ verbs.
+    pub reads: AtomicU64,
+    /// Number of one-sided WRITE verbs.
+    pub writes: AtomicU64,
+    /// Number of CAS verbs.
+    pub cas: AtomicU64,
+    /// Number of FAA verbs.
+    pub faa: AtomicU64,
+    /// Number of RPC round trips (two-sided).
+    pub rpcs: AtomicU64,
+    /// Bytes moved node→client.
+    pub read_bytes: AtomicU64,
+    /// Bytes moved client→node (including RPC payloads).
+    pub write_bytes: AtomicU64,
+}
+
+impl VerbCounters {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Resets every counter to zero (start of a measurement phase).
+    pub fn reset(&self) {
+        for c in [
+            &self.reads,
+            &self.writes,
+            &self.cas,
+            &self.faa,
+            &self.rpcs,
+            &self.read_bytes,
+            &self.write_bytes,
+        ] {
+            c.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Takes a plain-value snapshot of the counters.
+    pub fn snapshot(&self) -> VerbSnapshot {
+        VerbSnapshot {
+            reads: self.reads.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            cas: self.cas.load(Ordering::Relaxed),
+            faa: self.faa.load(Ordering::Relaxed),
+            rpcs: self.rpcs.load(Ordering::Relaxed),
+            read_bytes: self.read_bytes.load(Ordering::Relaxed),
+            write_bytes: self.write_bytes.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time copy of [`VerbCounters`].
+#[derive(Clone, Copy, Default, Debug, PartialEq, Eq)]
+pub struct VerbSnapshot {
+    /// Number of one-sided READ verbs.
+    pub reads: u64,
+    /// Number of one-sided WRITE verbs.
+    pub writes: u64,
+    /// Number of CAS verbs.
+    pub cas: u64,
+    /// Number of FAA verbs.
+    pub faa: u64,
+    /// Number of RPC round trips.
+    pub rpcs: u64,
+    /// Bytes moved node→client.
+    pub read_bytes: u64,
+    /// Bytes moved client→node.
+    pub write_bytes: u64,
+}
+
+impl VerbSnapshot {
+    /// Total small-verb count (reads + writes + faa; CAS is counted in its
+    /// own, scarcer resource pool — PCIe read-modify-write transactions).
+    pub fn verbs(&self) -> u64 {
+        self.reads + self.writes + self.faa
+    }
+
+    /// Total bytes in both directions.
+    pub fn bytes(&self) -> u64 {
+        self.read_bytes + self.write_bytes
+    }
+
+    /// Element-wise difference `self - earlier` (for phase deltas).
+    pub fn since(&self, earlier: &VerbSnapshot) -> VerbSnapshot {
+        VerbSnapshot {
+            reads: self.reads - earlier.reads,
+            writes: self.writes - earlier.writes,
+            cas: self.cas - earlier.cas,
+            faa: self.faa - earlier.faa,
+            rpcs: self.rpcs - earlier.rpcs,
+            read_bytes: self.read_bytes - earlier.read_bytes,
+            write_bytes: self.write_bytes - earlier.write_bytes,
+        }
+    }
+
+    /// Element-wise sum.
+    pub fn plus(&self, other: &VerbSnapshot) -> VerbSnapshot {
+        VerbSnapshot {
+            reads: self.reads + other.reads,
+            writes: self.writes + other.writes,
+            cas: self.cas + other.cas,
+            faa: self.faa + other.faa,
+            rpcs: self.rpcs + other.rpcs,
+            read_bytes: self.read_bytes + other.read_bytes,
+            write_bytes: self.write_bytes + other.write_bytes,
+        }
+    }
+}
+
+/// Profile of one completed KV operation, recorded by the issuing client.
+///
+/// `rtts` counts *sequential* network round trips: verbs issued inside a
+/// doorbell batch share one round trip, retries add more. The latency model
+/// multiplies this by the base RTT and adds queueing delay.
+#[derive(Clone, Copy, Debug)]
+pub struct OpRecord {
+    /// Which API call this was.
+    pub kind: OpKind,
+    /// Sequential round trips (includes retries).
+    pub rtts: u32,
+    /// Total verbs issued (reads + writes + cas + faa).
+    pub verbs: u32,
+    /// CAS verbs issued.
+    pub cas: u32,
+    /// RPC round trips issued.
+    pub rpcs: u32,
+    /// Bytes read.
+    pub read_bytes: u32,
+    /// Bytes written.
+    pub write_bytes: u32,
+    /// Commit retries caused by CAS conflicts.
+    pub retries: u32,
+}
+
+/// Per-client accumulation of operation profiles for one measurement phase.
+#[derive(Default)]
+pub struct OpStats {
+    /// All completed operation records, in completion order.
+    pub records: Vec<OpRecord>,
+}
+
+impl OpStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clears accumulated records.
+    pub fn reset(&mut self) {
+        self.records.clear();
+    }
+
+    /// Number of operations of `kind`.
+    pub fn count(&self, kind: OpKind) -> usize {
+        self.records.iter().filter(|r| r.kind == kind).count()
+    }
+
+    /// Mean CAS verbs per operation of `kind` (paper Figure 1a's right axis).
+    pub fn avg_cas(&self, kind: OpKind) -> f64 {
+        let (n, sum) = self
+            .records
+            .iter()
+            .filter(|r| r.kind == kind)
+            .fold((0u64, 0u64), |(n, s), r| (n + 1, s + r.cas as u64));
+        if n == 0 {
+            0.0
+        } else {
+            sum as f64 / n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_delta() {
+        let c = VerbCounters::new();
+        c.reads.store(10, Ordering::Relaxed);
+        c.read_bytes.store(1000, Ordering::Relaxed);
+        let a = c.snapshot();
+        c.reads.store(15, Ordering::Relaxed);
+        c.read_bytes.store(1600, Ordering::Relaxed);
+        let d = c.snapshot().since(&a);
+        assert_eq!(d.reads, 5);
+        assert_eq!(d.read_bytes, 600);
+    }
+
+    #[test]
+    fn reset_zeroes() {
+        let c = VerbCounters::new();
+        c.cas.store(3, Ordering::Relaxed);
+        c.reset();
+        assert_eq!(c.snapshot(), VerbSnapshot::default());
+    }
+
+    #[test]
+    fn avg_cas_by_kind() {
+        let mut s = OpStats::new();
+        s.records.push(OpRecord {
+            kind: OpKind::Update,
+            rtts: 2,
+            verbs: 3,
+            cas: 1,
+            rpcs: 0,
+            read_bytes: 0,
+            write_bytes: 1024,
+            retries: 0,
+        });
+        s.records.push(OpRecord {
+            kind: OpKind::Update,
+            rtts: 3,
+            verbs: 5,
+            cas: 3,
+            rpcs: 0,
+            read_bytes: 0,
+            write_bytes: 1024,
+            retries: 1,
+        });
+        s.records.push(OpRecord {
+            kind: OpKind::Search,
+            rtts: 1,
+            verbs: 2,
+            cas: 0,
+            rpcs: 0,
+            read_bytes: 2048,
+            write_bytes: 0,
+            retries: 0,
+        });
+        assert_eq!(s.count(OpKind::Update), 2);
+        assert!((s.avg_cas(OpKind::Update) - 2.0).abs() < 1e-9);
+        assert_eq!(s.avg_cas(OpKind::Search), 0.0);
+        assert_eq!(s.avg_cas(OpKind::Delete), 0.0);
+    }
+}

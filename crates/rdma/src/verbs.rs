@@ -1,0 +1,415 @@
+//! Client-side one-sided verbs with transparent accounting.
+//!
+//! A [`DmClient`] is the simulated equivalent of a compute-node thread's set
+//! of RC queue pairs. Every verb performs the real memory operation on the
+//! target node's region *and* records its cost:
+//!
+//! * into the client's own [`VerbCounters`] and the current operation's
+//!   profile (round trips, verbs, bytes, retries), and
+//! * into the target node's foreground or background counters, depending on
+//!   whether the client was created with [`crate::Cluster::client`] or
+//!   [`crate::Cluster::background_client`].
+//!
+//! Doorbell batching is modelled by [`DmClient::batch`]: verbs issued inside
+//! the closure count individually against NIC IOPS but share a single
+//! sequential round trip in the latency profile, mirroring how a doorbell
+//! batch posts several WQEs with one PCIe doorbell and overlapping flight
+//! times.
+
+use crate::addr::{GlobalAddr, NodeId};
+use crate::cluster::{Cluster, MemoryNode};
+use crate::error::Result;
+use crate::rpc::RpcClient;
+use crate::stats::{OpKind, OpRecord, OpStats, VerbCounters};
+use parking_lot::Mutex;
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+
+#[derive(Default)]
+struct CurOp {
+    active: bool,
+    rtts: u32,
+    verbs: u32,
+    cas: u32,
+    rpcs: u32,
+    read_bytes: u32,
+    write_bytes: u32,
+    retries: u32,
+    batch_depth: u32,
+    batch_rtt_counted: bool,
+}
+
+enum VerbClass {
+    Read,
+    Write,
+    Cas,
+    Faa,
+}
+
+/// Marker type returned by [`DmClient::batch`] scopes; exists so the closure
+/// signature documents that verbs inside share one round trip.
+pub struct WriteBatch;
+
+/// A client endpoint on the simulated fabric.
+///
+/// One `DmClient` belongs to one thread of execution (it is `Sync` only for
+/// convenience of sharing through `Arc` in tests; per-op profiles assume the
+/// owner serializes its own operations, as a real client coroutine does).
+pub struct DmClient {
+    cluster: Arc<Cluster>,
+    background: bool,
+    counters: Arc<VerbCounters>,
+    ops: Mutex<OpStats>,
+    cur: Mutex<CurOp>,
+}
+
+impl DmClient {
+    pub(crate) fn new(cluster: Arc<Cluster>, background: bool) -> Self {
+        DmClient {
+            cluster,
+            background,
+            counters: Arc::new(VerbCounters::new()),
+            ops: Mutex::new(OpStats::new()),
+            cur: Mutex::new(CurOp::default()),
+        }
+    }
+
+    /// The cluster this client is attached to.
+    pub fn cluster(&self) -> &Arc<Cluster> {
+        &self.cluster
+    }
+
+    /// This client's cumulative verb counters.
+    pub fn counters(&self) -> &Arc<VerbCounters> {
+        &self.counters
+    }
+
+    fn node(&self, id: NodeId) -> Result<Arc<MemoryNode>> {
+        self.cluster.node(id)
+    }
+
+    fn account(&self, node: &MemoryNode, class: VerbClass, rd: usize, wr: usize) {
+        let node_ctr = if self.background {
+            &node.background
+        } else {
+            &node.traffic
+        };
+        for ctr in [node_ctr, self.counters.as_ref()] {
+            match class {
+                VerbClass::Read => ctr.reads.fetch_add(1, Ordering::Relaxed),
+                VerbClass::Write => ctr.writes.fetch_add(1, Ordering::Relaxed),
+                VerbClass::Cas => ctr.cas.fetch_add(1, Ordering::Relaxed),
+                VerbClass::Faa => ctr.faa.fetch_add(1, Ordering::Relaxed),
+            };
+            ctr.read_bytes.fetch_add(rd as u64, Ordering::Relaxed);
+            ctr.write_bytes.fetch_add(wr as u64, Ordering::Relaxed);
+        }
+        let mut cur = self.cur.lock();
+        if cur.active {
+            cur.verbs += 1;
+            if matches!(class, VerbClass::Cas) {
+                cur.cas += 1;
+            }
+            cur.read_bytes = cur.read_bytes.saturating_add(rd as u32);
+            cur.write_bytes = cur.write_bytes.saturating_add(wr as u32);
+            if cur.batch_depth > 0 {
+                if !cur.batch_rtt_counted {
+                    cur.batch_rtt_counted = true;
+                    cur.rtts += 1;
+                }
+            } else {
+                cur.rtts += 1;
+            }
+        }
+    }
+
+    /// `RDMA_READ`: reads `dst.len()` bytes at `addr`.
+    pub fn read(&self, addr: GlobalAddr, dst: &mut [u8]) -> Result<()> {
+        let node = self.node(addr.node)?;
+        node.region.read(addr.offset, dst)?;
+        self.account(&node, VerbClass::Read, dst.len(), 0);
+        Ok(())
+    }
+
+    /// `RDMA_READ` into a fresh vector.
+    pub fn read_vec(&self, addr: GlobalAddr, len: usize) -> Result<Vec<u8>> {
+        let mut v = vec![0u8; len];
+        self.read(addr, &mut v)?;
+        Ok(v)
+    }
+
+    /// Atomically loads the 8-byte word at `addr` (an 8 B `RDMA_READ`).
+    pub fn read_u64(&self, addr: GlobalAddr) -> Result<u64> {
+        let node = self.node(addr.node)?;
+        let v = node.region.load64(addr.offset)?;
+        self.account(&node, VerbClass::Read, 8, 0);
+        Ok(v)
+    }
+
+    /// `RDMA_WRITE`: writes `src` at `addr`.
+    pub fn write(&self, addr: GlobalAddr, src: &[u8]) -> Result<()> {
+        let node = self.node(addr.node)?;
+        node.region.write(addr.offset, src)?;
+        self.account(&node, VerbClass::Write, 0, src.len());
+        Ok(())
+    }
+
+    /// Inline `RDMA_WRITE` for small payloads (≤ 64 B on real NICs). The
+    /// simulation treats it as a normal write; it exists so call sites read
+    /// like the paper's implementation notes.
+    pub fn write_inline(&self, addr: GlobalAddr, src: &[u8]) -> Result<()> {
+        debug_assert!(src.len() <= 64, "inline writes are limited to 64 B");
+        self.write(addr, src)
+    }
+
+    /// `RDMA_CAS` on the 8-byte word at `addr`.
+    ///
+    /// Returns the value observed before the operation; the swap succeeded
+    /// iff it equals `expected`.
+    pub fn cas(&self, addr: GlobalAddr, expected: u64, new: u64) -> Result<u64> {
+        let node = self.node(addr.node)?;
+        let prev = node.region.cas64(addr.offset, expected, new)?;
+        self.account(&node, VerbClass::Cas, 8, 8);
+        Ok(prev)
+    }
+
+    /// `RDMA_FAA` on the 8-byte word at `addr`; returns the pre-add value.
+    pub fn faa(&self, addr: GlobalAddr, delta: u64) -> Result<u64> {
+        let node = self.node(addr.node)?;
+        let prev = node.region.faa64(addr.offset, delta)?;
+        self.account(&node, VerbClass::Faa, 8, 8);
+        Ok(prev)
+    }
+
+    /// Issues several verbs as one doorbell batch: they count individually
+    /// against NIC IOPS but add only a single sequential round trip to the
+    /// current operation's latency profile.
+    pub fn batch<R>(&self, f: impl FnOnce(&Self) -> R) -> R {
+        {
+            let mut cur = self.cur.lock();
+            cur.batch_depth += 1;
+            if cur.batch_depth == 1 {
+                cur.batch_rtt_counted = false;
+            }
+        }
+        let r = f(self);
+        {
+            let mut cur = self.cur.lock();
+            cur.batch_depth -= 1;
+        }
+        r
+    }
+
+    /// Two-sided RPC to the server on `node` with cost accounting.
+    ///
+    /// `req_bytes` approximates the request payload; responses are charged a
+    /// flat 256 B (RPC is off Aceso's critical path, only its round trip and
+    /// existence matter).
+    pub fn rpc<Req: Send, Resp: Send>(
+        &self,
+        node_id: NodeId,
+        rpc: &RpcClient<Req, Resp>,
+        req: Req,
+        req_bytes: usize,
+    ) -> Result<Resp> {
+        const RESP_BYTES: usize = 256;
+        let node = self.node(node_id)?;
+        let resp = rpc.call(req)?;
+        let node_ctr = if self.background {
+            &node.background
+        } else {
+            &node.traffic
+        };
+        for ctr in [node_ctr, self.counters.as_ref()] {
+            ctr.rpcs.fetch_add(1, Ordering::Relaxed);
+            ctr.write_bytes
+                .fetch_add(req_bytes as u64, Ordering::Relaxed);
+            ctr.read_bytes
+                .fetch_add(RESP_BYTES as u64, Ordering::Relaxed);
+        }
+        let mut cur = self.cur.lock();
+        if cur.active {
+            cur.rpcs += 1;
+            cur.write_bytes = cur.write_bytes.saturating_add(req_bytes as u32);
+            cur.read_bytes = cur.read_bytes.saturating_add(RESP_BYTES as u32);
+        }
+        Ok(resp)
+    }
+
+    /// Fire-and-forget RPC with the same cost accounting as [`DmClient::rpc`]
+    /// minus the response bytes. Stands in for a one-sided replication write.
+    pub fn rpc_cast<Req: Send, Resp: Send>(
+        &self,
+        node_id: NodeId,
+        rpc: &RpcClient<Req, Resp>,
+        req: Req,
+        req_bytes: usize,
+    ) -> Result<()> {
+        let node = self.node(node_id)?;
+        rpc.cast(req)?;
+        let node_ctr = if self.background {
+            &node.background
+        } else {
+            &node.traffic
+        };
+        for ctr in [node_ctr, self.counters.as_ref()] {
+            ctr.rpcs.fetch_add(1, Ordering::Relaxed);
+            ctr.write_bytes
+                .fetch_add(req_bytes as u64, Ordering::Relaxed);
+        }
+        let mut cur = self.cur.lock();
+        if cur.active {
+            cur.rpcs += 1;
+            cur.write_bytes = cur.write_bytes.saturating_add(req_bytes as u32);
+        }
+        Ok(())
+    }
+
+    /// Starts profiling a KV operation.
+    pub fn begin_op(&self) {
+        let mut cur = self.cur.lock();
+        *cur = CurOp {
+            active: true,
+            ..CurOp::default()
+        };
+    }
+
+    /// Notes a commit retry (CAS conflict) for the current operation.
+    pub fn note_retry(&self) {
+        let mut cur = self.cur.lock();
+        if cur.active {
+            cur.retries += 1;
+        }
+    }
+
+    /// Finishes profiling the current operation and records it as `kind`.
+    pub fn end_op(&self, kind: OpKind) {
+        let rec = {
+            let mut cur = self.cur.lock();
+            if !cur.active {
+                return;
+            }
+            let rec = OpRecord {
+                kind,
+                rtts: cur.rtts,
+                verbs: cur.verbs,
+                cas: cur.cas,
+                rpcs: cur.rpcs,
+                read_bytes: cur.read_bytes,
+                write_bytes: cur.write_bytes,
+                retries: cur.retries,
+            };
+            cur.active = false;
+            rec
+        };
+        self.ops.lock().records.push(rec);
+    }
+
+    /// Abandons the current operation without recording it (failure paths).
+    pub fn abort_op(&self) {
+        self.cur.lock().active = false;
+    }
+
+    /// Takes all accumulated operation records, leaving the store empty.
+    pub fn take_ops(&self) -> OpStats {
+        std::mem::take(&mut *self.ops.lock())
+    }
+
+    /// Resets both counters and operation records.
+    pub fn reset_stats(&self) {
+        self.counters.reset();
+        self.ops.lock().reset();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ClusterConfig;
+    use crate::cost::CostModel;
+
+    fn cluster() -> Arc<Cluster> {
+        Cluster::new(ClusterConfig {
+            num_mns: 2,
+            region_len: 1 << 16,
+            cost: CostModel::default(),
+        })
+    }
+
+    #[test]
+    fn verbs_account_to_client_and_node() {
+        let c = cluster();
+        let cl = c.client();
+        let a = GlobalAddr::new(NodeId(0), 128);
+        cl.write(a, &[1, 2, 3, 4]).unwrap();
+        let _ = cl.read_vec(a, 4).unwrap();
+        let _ = cl.cas(GlobalAddr::new(NodeId(0), 0), 0, 1).unwrap();
+
+        let s = cl.counters().snapshot();
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.reads, 1);
+        assert_eq!(s.cas, 1);
+        assert_eq!(s.write_bytes, 4 + 8);
+        assert_eq!(s.read_bytes, 4 + 8);
+
+        let node = c.node(NodeId(0)).unwrap();
+        assert_eq!(node.traffic.snapshot(), s);
+        assert_eq!(node.background.snapshot().verbs(), 0);
+    }
+
+    #[test]
+    fn background_client_accounts_separately() {
+        let c = cluster();
+        let bg = c.background_client();
+        bg.write(GlobalAddr::new(NodeId(1), 0), &[0u8; 64]).unwrap();
+        let node = c.node(NodeId(1)).unwrap();
+        assert_eq!(node.background.snapshot().writes, 1);
+        assert_eq!(node.traffic.snapshot().writes, 0);
+    }
+
+    #[test]
+    fn op_profile_counts_rtts_and_batches() {
+        let c = cluster();
+        let cl = c.client();
+        let a = GlobalAddr::new(NodeId(0), 0);
+        cl.begin_op();
+        cl.batch(|cl| {
+            cl.write(a.add(64), &[0u8; 32]).unwrap();
+            cl.write(a.add(128), &[0u8; 32]).unwrap();
+        });
+        let _ = cl.cas(a, 0, 5).unwrap();
+        cl.note_retry();
+        let _ = cl.cas(a, 5, 6).unwrap();
+        cl.end_op(OpKind::Update);
+
+        let ops = cl.take_ops();
+        assert_eq!(ops.records.len(), 1);
+        let r = ops.records[0];
+        assert_eq!(r.verbs, 4);
+        assert_eq!(r.cas, 2);
+        // One RTT for the batch, one per CAS.
+        assert_eq!(r.rtts, 3);
+        assert_eq!(r.retries, 1);
+    }
+
+    #[test]
+    fn verbs_fail_on_dead_node() {
+        let c = cluster();
+        let cl = c.client();
+        c.kill_node(NodeId(0));
+        let a = GlobalAddr::new(NodeId(0), 0);
+        assert!(cl.read_vec(a, 8).is_err());
+        assert!(cl.write(a, &[0]).is_err());
+        assert!(cl.cas(a, 0, 1).is_err());
+        // And nothing was accounted.
+        assert_eq!(cl.counters().snapshot().verbs(), 0);
+    }
+
+    #[test]
+    fn end_without_begin_is_noop() {
+        let c = cluster();
+        let cl = c.client();
+        cl.end_op(OpKind::Search);
+        assert!(cl.take_ops().records.is_empty());
+    }
+}

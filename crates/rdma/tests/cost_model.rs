@@ -1,0 +1,139 @@
+//! Scenario tests of the NIC cost model: each paper-relevant regime must
+//! bind on the right resource.
+
+use aceso_rdma::{Bottleneck, CostModel, OpKind, OpRecord, PhaseMeasurement};
+
+fn rec(kind: OpKind, rtts: u32, verbs: u32, cas: u32, rd: u32, wr: u32) -> OpRecord {
+    OpRecord {
+        kind,
+        rtts,
+        verbs,
+        cas,
+        rpcs: 0,
+        read_bytes: rd,
+        write_bytes: wr,
+        retries: 0,
+    }
+}
+
+fn snapshot(
+    reads: u64,
+    writes: u64,
+    cas: u64,
+    rd_b: u64,
+    wr_b: u64,
+) -> aceso_rdma::stats::VerbSnapshot {
+    aceso_rdma::stats::VerbSnapshot {
+        reads,
+        writes,
+        cas,
+        faa: 0,
+        rpcs: 0,
+        read_bytes: rd_b,
+        write_bytes: wr_b,
+    }
+}
+
+/// Few clients with long operations are client-bound, not NIC-bound.
+#[test]
+fn small_client_count_binds_on_round_trips() {
+    let model = CostModel::default();
+    let m = PhaseMeasurement {
+        n_clients: 2,
+        node_fg: vec![snapshot(100, 100, 10, 100_000, 100_000)],
+        bg_bytes_per_sec: vec![0.0],
+        records: (0..1000)
+            .map(|_| rec(OpKind::Update, 6, 8, 1, 256, 1024))
+            .collect(),
+    };
+    let r = model.report(&m);
+    assert_eq!(r.bottleneck, Bottleneck::ClientRtt);
+    // 2 clients × 4 outstanding / ~18 µs ≈ 0.44 Mops.
+    assert!(r.mops < 1.0, "{}", r.mops);
+}
+
+/// Heavy background traffic cannot drive available bandwidth negative.
+#[test]
+fn background_over_line_rate_clamps() {
+    let model = CostModel::default();
+    let m = PhaseMeasurement {
+        n_clients: 200,
+        node_fg: vec![snapshot(1000, 0, 0, 4_096_000, 0)],
+        bg_bytes_per_sec: vec![1e12], // Absurd: far over line rate.
+        records: (0..1000)
+            .map(|_| rec(OpKind::Search, 1, 1, 0, 4096, 0))
+            .collect(),
+    };
+    let r = model.report(&m);
+    assert!(r.mops > 0.0 && r.mops.is_finite());
+    assert!(matches!(r.bottleneck, Bottleneck::NodeBandwidth(_)));
+}
+
+/// Latency percentiles are ordered and respond to retries.
+#[test]
+fn latency_percentiles_ordered_and_retry_sensitive() {
+    let model = CostModel::default();
+    let mk = |retry_every: usize| PhaseMeasurement {
+        n_clients: 100,
+        node_fg: vec![snapshot(500, 500, 500, 500_000, 500_000)],
+        bg_bytes_per_sec: vec![0.0],
+        records: (0..2000)
+            .map(|i| {
+                let extra = if i % retry_every == 0 { 4 } else { 0 };
+                rec(OpKind::Update, 3 + extra, 4 + extra, 1, 16, 1024)
+            })
+            .collect(),
+    };
+    let calm = model.latency(&mk(1000), Some(OpKind::Update));
+    let contended = model.latency(&mk(4), Some(OpKind::Update));
+    assert!(calm.p50_us <= calm.p99_us);
+    assert!(
+        contended.p99_us > calm.p99_us,
+        "retries must fatten the tail"
+    );
+    assert!(calm.mean_us > 0.0);
+}
+
+/// The per-kind latency filter really filters.
+#[test]
+fn latency_filter_by_kind() {
+    let model = CostModel::default();
+    let m = PhaseMeasurement {
+        n_clients: 100,
+        node_fg: vec![snapshot(100, 100, 0, 100_000, 100_000)],
+        bg_bytes_per_sec: vec![0.0],
+        records: (0..100)
+            .flat_map(|_| {
+                [
+                    rec(OpKind::Search, 1, 2, 0, 1024, 0),
+                    rec(OpKind::Update, 8, 10, 1, 0, 4096),
+                ]
+            })
+            .collect(),
+    };
+    let s = model.latency(&m, Some(OpKind::Search));
+    let u = model.latency(&m, Some(OpKind::Update));
+    let all = model.latency(&m, None);
+    assert!(s.p50_us < u.p50_us);
+    assert!(all.p50_us >= s.p50_us && all.p50_us <= u.p50_us);
+}
+
+/// Demand concentrated on one node binds that node, not the average.
+#[test]
+fn hot_node_binds() {
+    let model = CostModel::default();
+    let m = PhaseMeasurement {
+        n_clients: 500,
+        node_fg: vec![
+            snapshot(0, 10_000, 10_000, 0, 1_000_000),
+            snapshot(0, 10, 10, 0, 1_000),
+        ],
+        bg_bytes_per_sec: vec![0.0, 0.0],
+        records: (0..10_000)
+            .map(|_| rec(OpKind::Update, 2, 2, 1, 0, 100))
+            .collect(),
+    };
+    let r = model.report(&m);
+    assert_eq!(r.bottleneck, Bottleneck::NodeAtomics(0));
+    assert_eq!(r.bottleneck.label(), "atomics@mn0");
+}

@@ -1,0 +1,135 @@
+//! Replay of external trace files.
+//!
+//! The paper replays Twitter's production cache traces (ref. \[84\]), which are not
+//! redistributable; `crates/workloads` ships synthetic mixes instead
+//! ([`crate::twitter`]). Users who *do* have trace files can replay them
+//! through this parser. The format is one request per line:
+//!
+//! ```text
+//! <op>,<key>[,<value_len>]
+//! ```
+//!
+//! where `op` is one of `get`, `set`, `add`, `delete` (the twemcache verbs
+//! the Twitter traces use: `get`→SEARCH, `set`→UPDATE-or-INSERT,
+//! `add`→INSERT, `delete`→DELETE). Blank lines and `#` comments are
+//! skipped; malformed lines are reported with their line number.
+
+use crate::{Op, Request};
+
+/// A parse failure with its 1-based line number.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct TraceError {
+    /// Line number of the offending record.
+    pub line: usize,
+    /// What was wrong.
+    pub reason: String,
+}
+
+impl core::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "trace line {}: {}", self.line, self.reason)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Parses a trace from text; `default_value_len` fills in records without
+/// an explicit length.
+pub fn parse_trace(text: &str, default_value_len: usize) -> Result<Vec<Request>, TraceError> {
+    let mut out = Vec::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line = i + 1;
+        let t = raw.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut fields = t.split(',');
+        let op = fields.next().unwrap_or("").trim().to_ascii_lowercase();
+        let key = fields.next().map(str::trim).unwrap_or("");
+        if key.is_empty() {
+            return Err(TraceError {
+                line,
+                reason: "missing key".into(),
+            });
+        }
+        let value_len = match fields.next().map(str::trim) {
+            None | Some("") => default_value_len,
+            Some(v) => v.parse().map_err(|_| TraceError {
+                line,
+                reason: format!("bad value length {v:?}"),
+            })?,
+        };
+        let op = match op.as_str() {
+            "get" | "gets" => Op::Search,
+            "set" | "replace" | "cas" => Op::Update,
+            "add" => Op::Insert,
+            "delete" | "del" => Op::Delete,
+            other => {
+                return Err(TraceError {
+                    line,
+                    reason: format!("unknown op {other:?}"),
+                });
+            }
+        };
+        out.push(Request {
+            op,
+            key: key.as_bytes().to_vec(),
+            value_len,
+        });
+    }
+    Ok(out)
+}
+
+/// Reads and parses a trace file.
+pub fn load_trace(
+    path: &std::path::Path,
+    default_value_len: usize,
+) -> Result<Vec<Request>, Box<dyn std::error::Error>> {
+    let text = std::fs::read_to_string(path)?;
+    Ok(parse_trace(&text, default_value_len)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_mixed_trace() {
+        let text = "\
+# a comment
+get,user1
+set,user2,512
+
+add,user3
+delete,user1
+";
+        let reqs = parse_trace(text, 100).unwrap();
+        assert_eq!(reqs.len(), 4);
+        assert_eq!(reqs[0].op, Op::Search);
+        assert_eq!(reqs[0].key, b"user1");
+        assert_eq!(reqs[0].value_len, 100);
+        assert_eq!(reqs[1].op, Op::Update);
+        assert_eq!(reqs[1].value_len, 512);
+        assert_eq!(reqs[2].op, Op::Insert);
+        assert_eq!(reqs[3].op, Op::Delete);
+    }
+
+    #[test]
+    fn rejects_bad_lines_with_position() {
+        let e = parse_trace("get,k\nfrobnicate,k2\n", 10).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.reason.contains("frobnicate"));
+
+        let e = parse_trace("set,k,notanumber\n", 10).unwrap_err();
+        assert_eq!(e.line, 1);
+
+        let e = parse_trace("get,\n", 10).unwrap_err();
+        assert_eq!(e.reason, "missing key");
+    }
+
+    #[test]
+    fn empty_trace_is_empty() {
+        assert!(parse_trace("", 10).unwrap().is_empty());
+        assert!(parse_trace("# only comments\n\n", 10).unwrap().is_empty());
+    }
+}

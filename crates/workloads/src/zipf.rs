@@ -1,0 +1,124 @@
+//! Zipfian sampling over a dense key range `0..n`.
+//!
+//! Implemented with a precomputed CDF and binary search: exact, simple, and
+//! fast enough (one `log2 n` search per sample). The YCSB default skew is
+//! θ = 0.99. Ranks are scattered over the key range by a fixed permutation
+//! hash so that "hot" keys are not physically adjacent, like YCSB's
+//! `ZipfianGenerator` + `fnvhash`.
+
+use rand::Rng;
+
+/// A Zipfian distribution over `0..n` with exponent `theta`.
+pub struct Zipf {
+    cdf: Vec<f64>,
+    n: u64,
+}
+
+impl Zipf {
+    /// Builds the distribution (O(n) once).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: u64, theta: f64) -> Self {
+        assert!(n > 0, "zipf needs a non-empty key range");
+        let mut cdf = Vec::with_capacity(n as usize);
+        let mut acc = 0.0f64;
+        for i in 1..=n {
+            acc += 1.0 / (i as f64).powf(theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf, n }
+    }
+
+    /// Samples a key id in `0..n`.
+    pub fn sample(&self, rng: &mut impl Rng) -> u64 {
+        let u: f64 = rng.gen();
+        let rank = match self.cdf.binary_search_by(|c| c.partial_cmp(&u).unwrap()) {
+            Ok(i) => i,
+            Err(i) => i,
+        } as u64;
+        self.scatter(rank.min(self.n - 1))
+    }
+
+    /// Scatters rank `r` over the key range with a fixed permutation.
+    fn scatter(&self, r: u64) -> u64 {
+        // A multiplicative hash modulo n is not a permutation in general,
+        // so use a Feistel-ish mix and take the result modulo n, retrying
+        // deterministically on collisions is unnecessary: YCSB also just
+        // hashes (collisions merely merge two ranks' mass).
+        let mut x = r.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        x ^= x >> 29;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 32;
+        x % self.n
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(100, 0.99);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_mass() {
+        let z = Zipf::new(1000, 0.99);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut counts = vec![0u32; 1000];
+        let total = 100_000;
+        for _ in 0..total {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        counts.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: u32 = counts[..10].iter().sum();
+        // Zipf(0.99) over 1000 keys puts roughly a third of the mass on the
+        // ten hottest keys.
+        assert!(top10 as f64 > 0.25 * total as f64, "top10={top10}");
+        // Uniform would put ~1% on any ten keys.
+        assert!(top10 as f64 > 10.0 * (total as f64 / 1000.0));
+    }
+
+    #[test]
+    fn theta_zero_is_uniformish() {
+        let z = Zipf::new(100, 0.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut rng) as usize] += 1;
+        }
+        // The rank→key scatter is a hash, not a permutation, so a few keys
+        // merge; uniformity here means no key dominates and most keys hit.
+        let max = *counts.iter().max().unwrap();
+        let hit = counts.iter().filter(|&&c| c > 0).count();
+        assert!(max < 5_000, "max={max}");
+        assert!(hit > 55, "hit={hit}");
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let z = Zipf::new(50, 0.9);
+        let a: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = StdRng::seed_from_u64(9);
+            (0..100).map(|_| z.sample(&mut rng)).collect()
+        };
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,123 @@
+//! An interactive shell over a local Aceso deployment — the kind of
+//! operations tool an operator would use against a real coding group.
+//!
+//! ```text
+//! cargo run --release --example cli
+//! > put greeting hello
+//! > get greeting
+//! > kill 2
+//! > recover 2
+//! > stats
+//! ```
+
+use aceso::core::{recover_mn, AcesoConfig, AcesoStore};
+use std::io::{BufRead, Write};
+
+const HELP: &str = "\
+commands:
+  put <key> <value>     insert or overwrite
+  get <key>             point lookup
+  del <key>             delete (tombstone)
+  kill <column>         fail-stop the MN serving a column
+  recover <column>      tiered recovery of a failed column
+  ckpt                  run one synchronized checkpoint round
+  stats                 memory distribution + per-node traffic
+  help                  this text
+  quit                  exit";
+
+fn main() {
+    let store = AcesoStore::launch(AcesoConfig {
+        num_arrays: 32,
+        num_delta: 48,
+        index_groups: 2048,
+        ..AcesoConfig::small()
+    })
+    .expect("launch");
+    let mut client = store.client().expect("client");
+    println!(
+        "aceso shell — {} MNs up. type 'help' for commands.",
+        store.cfg.num_mns
+    );
+
+    let stdin = std::io::stdin();
+    let mut out = std::io::stdout();
+    loop {
+        print!("> ");
+        out.flush().ok();
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line).unwrap_or(0) == 0 {
+            break;
+        }
+        let parts: Vec<&str> = line.split_whitespace().collect();
+        match parts.as_slice() {
+            [] => {}
+            ["help"] => println!("{HELP}"),
+            ["quit"] | ["exit"] => break,
+            ["put", key, value] => match client.insert(key.as_bytes(), value.as_bytes()) {
+                Ok(()) => println!("ok"),
+                Err(e) => println!("error: {e}"),
+            },
+            ["get", key] => match client.search(key.as_bytes()) {
+                Ok(Some(v)) => println!("{}", String::from_utf8_lossy(&v)),
+                Ok(None) => println!("(not found)"),
+                Err(e) => println!("error: {e}"),
+            },
+            ["del", key] => match client.delete(key.as_bytes()) {
+                Ok(true) => println!("deleted"),
+                Ok(false) => println!("(was not present)"),
+                Err(e) => println!("error: {e}"),
+            },
+            ["kill", col] => match col.parse::<usize>() {
+                Ok(c) if c < store.cfg.num_mns => {
+                    store.kill_mn(c);
+                    println!("mn column {c} failed (fail-stop)");
+                }
+                _ => println!("usage: kill <0..{}>", store.cfg.num_mns - 1),
+            },
+            ["recover", col] => match col.parse::<usize>() {
+                Ok(c) if c < store.cfg.num_mns => match recover_mn(&store, c) {
+                    Ok(r) => println!(
+                        "recovered: index tier {:.1} ms, total {:.1} ms, {} KVs reapplied",
+                        r.index_tier_ms(),
+                        r.total_ms(),
+                        r.kv_count
+                    ),
+                    Err(e) => println!("error: {e}"),
+                },
+                _ => println!("usage: recover <0..{}>", store.cfg.num_mns - 1),
+            },
+            ["ckpt"] => match store.checkpoint_tick() {
+                Ok(reps) => {
+                    for (c, r) in reps.iter().enumerate() {
+                        println!(
+                            "mn{c}: delta {} B (iv {})",
+                            r.compressed_len, r.index_version
+                        );
+                    }
+                }
+                Err(e) => println!("error: {e}"),
+            },
+            ["stats"] => {
+                let u = store.memory_usage();
+                println!(
+                    "valid {} B | parity {} B | delta {} B | allocated data {} B",
+                    u.valid, u.redundancy, u.delta, u.data_allocated
+                );
+                for (i, node) in store.cluster.nodes().iter().enumerate() {
+                    let s = node.traffic.snapshot();
+                    println!(
+                        "mn{i}: alive={} reads={} writes={} cas={} bytes={}",
+                        node.is_alive(),
+                        s.reads,
+                        s.writes,
+                        s.cas,
+                        s.bytes()
+                    );
+                }
+            }
+            _ => println!("unknown command; try 'help'"),
+        }
+    }
+    store.shutdown();
+    println!("bye");
+}

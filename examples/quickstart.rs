@@ -1,0 +1,57 @@
+//! Quickstart: launch a coding group, run the four KV operations, shut
+//! down.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use aceso::core::{AcesoConfig, AcesoStore};
+
+fn main() {
+    // Five simulated memory nodes form one coding group (the X-Code `n`).
+    let store = AcesoStore::launch(AcesoConfig::small()).expect("launch");
+    let mut client = store.client().expect("client");
+
+    println!("== Aceso quickstart ==");
+    println!(
+        "coding group: {} MNs, {} KiB blocks, {} B region per MN",
+        store.cfg.num_mns,
+        store.cfg.block_size >> 10,
+        store.map.region_len
+    );
+
+    // INSERT.
+    client.insert(b"athena", b"owl").expect("insert");
+    client.insert(b"apollo", b"lyre").expect("insert");
+    client.insert(b"artemis", b"bow").expect("insert");
+    println!("inserted 3 keys");
+
+    // SEARCH.
+    let v = client.search(b"athena").expect("search");
+    println!("athena -> {:?}", v.as_deref().map(String::from_utf8_lossy));
+    assert_eq!(v.as_deref(), Some(&b"owl"[..]));
+
+    // UPDATE: out-of-place write + one CAS on the index slot.
+    client.update(b"athena", b"aegis").expect("update");
+    let v = client.search(b"athena").expect("search");
+    println!("athena -> {:?}", v.as_deref().map(String::from_utf8_lossy));
+    assert_eq!(v.as_deref(), Some(&b"aegis"[..]));
+
+    // DELETE: commits a tombstone.
+    assert!(client.delete(b"apollo").expect("delete"));
+    assert_eq!(client.search(b"apollo").expect("search"), None);
+    println!("apollo deleted");
+
+    // A checkpoint round: every MN ships its compressed index delta to its
+    // neighbour and bumps its Index Version.
+    let reports = store.checkpoint_tick().expect("checkpoint");
+    for (col, r) in reports.iter().enumerate() {
+        println!(
+            "mn{col}: index {} B -> delta {} B (version {})",
+            r.raw_len, r.compressed_len, r.index_version
+        );
+    }
+
+    store.shutdown();
+    println!("done");
+}
