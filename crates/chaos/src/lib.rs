@@ -1,0 +1,40 @@
+//! Crash-matrix fault-injection harness for the Aceso reproduction.
+//!
+//! The harness enumerates a matrix of crash scenarios — (operation ×
+//! injection site × MN-kill timing × reclamation state) — and runs each
+//! [`cell::Cell`] against a live [`aceso_core::AcesoStore`]: preload,
+//! arm the fault ([`aceso_rdma::FaultPlan`] for verb-level faults,
+//! [`aceso_core::client::CrashPoint`] for client-protocol crashes), run
+//! the operation, drive tiered recovery, then check the invariants the
+//! paper's fault-tolerance argument rests on (oracle agreement, meta-lock
+//! liveness, Index-Version monotonicity, parity-stripe consistency — see
+//! [`runner`]).
+//!
+//! The `chaos` binary exposes two modes:
+//!
+//! * `chaos sweep [--ci]` — deterministic matrix sweep with a coverage
+//!   report and minimized counterexamples; `--ci` is the fixed-seed
+//!   sub-minute profile wired into tier-1 verification.
+//! * `chaos soak --seconds N` — seeded random schedules until a deadline.
+//!
+//! Every schedule derives from one `u64` seed; the same seed replays the
+//! identical schedule.
+
+pub mod cell;
+pub mod runner;
+pub mod sweep;
+
+pub use cell::{
+    ci_matrix, full_matrix, injection_sites, kill_timings, Cell, InjectionSite, KillTiming,
+    OpType, ReclaimState,
+};
+pub use runner::{chaos_config, run_cell, CellOutcome};
+pub use sweep::{soak, sweep, Counterexample, SweepReport};
+
+/// Default master seed (sweep and soak) so bare CLI invocations are
+/// reproducible without any flags.
+pub const DEFAULT_SEED: u64 = 0xACE50;
+
+/// Cell budget of the `--ci` profile: large enough to touch every axis
+/// value many times, small enough to finish within the tier-1 minute.
+pub const CI_CELLS: usize = 120;

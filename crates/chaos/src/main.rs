@@ -1,0 +1,132 @@
+//! `chaos` — crash-matrix sweeps and soak runs for the Aceso store.
+//!
+//! ```text
+//! chaos sweep [--ci] [--seed N] [--limit N] [--verbose]
+//! chaos soak  [--seed N] [--seconds N] [--verbose]
+//! ```
+//!
+//! Exits 0 when every explored cell held its invariants, 1 on any
+//! violation, 2 on usage errors.
+
+use aceso_chaos::{
+    ci_matrix, full_matrix, run_cell, soak, sweep, Cell, CellOutcome, SweepReport, CI_CELLS,
+    DEFAULT_SEED,
+};
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: chaos sweep [--ci] [--seed N] [--limit N] [--verbose]\n\
+                chaos soak  [--seed N] [--seconds N] [--verbose]\n\
+                chaos cell <op/site/kill/reclaim> [--seed N]\n\
+         \n\
+         sweep   run the crash matrix (full 480 cells; --ci = deterministic\n\
+         \x20       {CI_CELLS}-cell profile) and print a coverage report\n\
+         soak    run seeded random cells until --seconds elapse\n\
+         cell    replay one cell by id (as printed in counterexamples)\n\
+         --seed  master seed (default {DEFAULT_SEED:#x}); same seed, same schedule"
+    );
+    std::process::exit(2);
+}
+
+fn parse_u64(args: &mut std::slice::Iter<'_, String>, flag: &str) -> u64 {
+    let Some(v) = args.next() else {
+        eprintln!("chaos: {flag} needs a value");
+        usage();
+    };
+    // Accept both decimal and 0x-prefixed seeds (the report prints hex).
+    let parsed = if let Some(hex) = v.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16)
+    } else {
+        v.parse()
+    };
+    parsed.unwrap_or_else(|_| {
+        eprintln!("chaos: bad value for {flag}: {v}");
+        usage();
+    })
+}
+
+fn progress(verbose: bool) -> impl FnMut(&CellOutcome) {
+    let mut ran = 0usize;
+    move |o: &CellOutcome| {
+        ran += 1;
+        if verbose {
+            let status = if o.ok() { "ok" } else { "VIOLATION" };
+            println!(
+                "[{ran:>4}] {status:<9} {} ({} ms, fired={}, killed={})",
+                o.cell, o.duration_ms, o.injection_fired, o.mn_killed
+            );
+        } else if !o.ok() {
+            println!("[{ran:>4}] VIOLATION {}", o.cell);
+        }
+    }
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some(mode) = argv.first().map(String::as_str) else {
+        usage();
+    };
+    let mut seed = DEFAULT_SEED;
+    let mut limit: Option<usize> = None;
+    let mut seconds = 60u64;
+    let mut ci = false;
+    let mut verbose = false;
+    let mut cell_id: Option<String> = None;
+    let mut it = argv[1..].iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            id if mode == "cell" && cell_id.is_none() && !id.starts_with('-') => {
+                cell_id = Some(id.to_string());
+            }
+            "--ci" => ci = true,
+            "--seed" => seed = parse_u64(&mut it, "--seed"),
+            "--limit" => limit = Some(parse_u64(&mut it, "--limit") as usize),
+            "--seconds" => seconds = parse_u64(&mut it, "--seconds"),
+            "--verbose" | "-v" => verbose = true,
+            other => {
+                eprintln!("chaos: unknown flag {other}");
+                usage();
+            }
+        }
+    }
+
+    let report = match mode {
+        "sweep" => {
+            let mut cells = if ci {
+                ci_matrix(seed, limit.unwrap_or(CI_CELLS))
+            } else {
+                full_matrix()
+            };
+            if let Some(l) = limit {
+                cells.truncate(l);
+            }
+            println!("chaos sweep: {} cells, seed {seed:#x}", cells.len());
+            sweep(&cells, seed, progress(verbose))
+        }
+        "soak" => {
+            println!("chaos soak: {seconds}s, seed {seed:#x}");
+            soak(seed, Duration::from_secs(seconds), progress(verbose))
+        }
+        "cell" => {
+            let Some(cell) = cell_id.as_deref().and_then(Cell::parse) else {
+                eprintln!("chaos: cell needs a valid op/site/kill/reclaim id");
+                usage();
+            };
+            // The seed is used verbatim (not drawn from a master stream) so
+            // a counterexample's printed cell seed replays exactly.
+            println!("chaos cell: {cell}, seed {seed:#x}");
+            let out = run_cell(&cell, seed);
+            progress(true)(&out);
+            SweepReport {
+                seed,
+                outcomes: vec![out],
+                counterexamples: Vec::new(),
+            }
+        }
+        _ => usage(),
+    };
+
+    print!("{}", report.render());
+    std::process::exit(if report.clean() { 0 } else { 1 });
+}

@@ -1,0 +1,499 @@
+//! Executes one crash-matrix cell against a live store and checks the
+//! post-conditions.
+//!
+//! Each cell runs the same script: launch a store, preload it (optionally
+//! ageing it into a reclamation-relevant state), arm the cell's injection
+//! and kill, run the operation, drive tiered recovery, then check four
+//! invariants:
+//!
+//! 1. **Oracle agreement** — every surviving key reads back exactly the
+//!    value a `HashMap` oracle predicts; the injected key may be in either
+//!    its pre-op or intended post-op state (the commit protocol's allowed
+//!    ambiguity window), never anything else.
+//! 2. **Meta-lock liveness** — a probe INSERT on the injected key must
+//!    succeed (breaking any lock the crashed client abandoned) and read
+//!    back.
+//! 3. **Index-Version monotonicity** — no column's Index Version moves
+//!    backwards across kill + recovery.
+//! 4. **Parity consistency** — [`aceso_core::scrub`] reports every parity
+//!    equation and delta pair clean after full recovery.
+
+use crate::cell::{Cell, InjectionSite, KillTiming, OpType, ReclaimState};
+use aceso_core::client::CrashPoint;
+use aceso_core::{
+    recover_cn, recover_mn, recover_mn_with, scrub, AcesoClient, AcesoConfig, AcesoStore,
+    ClientTuning, StoreError,
+};
+use aceso_index::route_hash;
+use aceso_rdma::{FaultAction, FaultPlan, FaultRule, RdmaError};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Store configuration for matrix cells: the `small()` topology shrunk
+/// (fewer/smaller blocks, fewer index groups) so a full launch → preload →
+/// crash → recover → scrub cycle stays well under a second.
+pub fn chaos_config() -> AcesoConfig {
+    AcesoConfig {
+        block_size: 16 << 10,
+        num_arrays: 4,
+        num_delta: 12,
+        index_groups: 128,
+        bitmap_flush_every: 16,
+        ..AcesoConfig::small()
+    }
+}
+
+/// What one cell run observed.
+#[derive(Clone, Debug)]
+pub struct CellOutcome {
+    /// The cell that ran.
+    pub cell: Cell,
+    /// The seed its schedule was derived from.
+    pub seed: u64,
+    /// Invariant violations (empty = the cell passed).
+    pub violations: Vec<String>,
+    /// Whether the armed injection actually fired.
+    pub injection_fired: bool,
+    /// Whether the home MN actually died.
+    pub mn_killed: bool,
+    /// Whether the client crashed (or was written off as blocked) mid-op.
+    pub client_crashed: bool,
+    /// Wall-clock cost of the cell.
+    pub duration_ms: u128,
+}
+
+impl CellOutcome {
+    /// `true` when every invariant held.
+    pub fn ok(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Runs one cell. Infrastructure failures (launch, preload, recovery
+/// errors) are reported as violations too: a cell that cannot even set up
+/// is a finding, not a skip.
+pub fn run_cell(cell: &Cell, seed: u64) -> CellOutcome {
+    let start = Instant::now();
+    let mut out = CellOutcome {
+        cell: *cell,
+        seed,
+        violations: Vec::new(),
+        injection_fired: false,
+        mn_killed: false,
+        client_crashed: false,
+        duration_ms: 0,
+    };
+    if let Err(e) = run_cell_inner(cell, seed, &mut out) {
+        out.violations.push(format!("harness: {e}"));
+    }
+    out.duration_ms = start.elapsed().as_millis();
+    out
+}
+
+/// Deterministic value generator: length and bytes come from the cell's
+/// seeded RNG, the first byte tags the generation for readable mismatches.
+fn gen_value(rng: &mut StdRng, tag: u8) -> Vec<u8> {
+    let len = rng.gen_range(24usize..96);
+    let mut v = vec![0u8; len];
+    rng.fill_bytes(&mut v);
+    v[0] = tag;
+    v
+}
+
+fn fmt_key(k: &[u8]) -> String {
+    String::from_utf8_lossy(k).into_owned()
+}
+
+fn fmt_state(s: &Option<Vec<u8>>) -> String {
+    match s {
+        None => "absent".into(),
+        Some(v) => format!("{}…[{}]", fmt_key(&v[..v.len().min(8)]), v.len()),
+    }
+}
+
+fn run_cell_inner(cell: &Cell, seed: u64, out: &mut CellOutcome) -> Result<(), String> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let store = AcesoStore::launch(chaos_config()).map_err(|e| format!("launch: {e}"))?;
+    let n = store.cfg.num_mns;
+
+    // The op client fails fast when a column dies so a blocked operation
+    // costs a cell milliseconds, not the production 10 s grace window.
+    // Budgets multiply: every commit retry re-enters the index wait, so
+    // a blocked op costs at most ~max_retries × index_wait_ms.
+    let tuning = ClientTuning {
+        max_retries: 40,
+        index_wait_ms: 5,
+        ..ClientTuning::default()
+    };
+    let mut client = store
+        .client_with(tuning)
+        .map_err(|e| format!("client: {e}"))?;
+
+    // ---- Preload ---------------------------------------------------------
+    let mut oracle: BTreeMap<Vec<u8>, Vec<u8>> = BTreeMap::new();
+    let preload = |client: &mut AcesoClient,
+                       oracle: &mut BTreeMap<Vec<u8>, Vec<u8>>,
+                       rng: &mut StdRng,
+                       prefix: &str,
+                       count: usize|
+     -> Result<(), String> {
+        for i in 0..count {
+            let k = format!("{prefix}-{i:03}").into_bytes();
+            let v = gen_value(rng, b'A');
+            client
+                .insert(&k, &v)
+                .map_err(|e| format!("preload {}: {e}", fmt_key(&k)))?;
+            oracle.insert(k, v);
+        }
+        Ok(())
+    };
+    match cell.reclaim {
+        ReclaimState::Fresh => preload(&mut client, &mut oracle, &mut rng, "key", 24)?,
+        ReclaimState::Aged => {
+            preload(&mut client, &mut oracle, &mut rng, "key", 36)?;
+            client
+                .close_open_blocks()
+                .map_err(|e| format!("preload close: {e}"))?;
+            for i in (0..36).step_by(3) {
+                let k = format!("key-{i:03}").into_bytes();
+                client
+                    .delete(&k)
+                    .map_err(|e| format!("preload delete {}: {e}", fmt_key(&k)))?;
+                oracle.remove(&k);
+            }
+            client
+                .flush_bitmaps()
+                .map_err(|e| format!("preload flush: {e}"))?;
+            preload(&mut client, &mut oracle, &mut rng, "aged", 12)?;
+        }
+    }
+
+    // Two checkpoint rounds so every column has a restorable checkpoint
+    // and a non-trivial Index Version to regress from.
+    for _ in 0..2 {
+        store.checkpoint_tick().map_err(|e| format!("ckpt: {e}"))?;
+    }
+    let iv_of = |store: &Arc<AcesoStore>, col: usize| {
+        let s = store.server(col);
+        s.index.local_index_version(&s.node.region)
+    };
+    let iv_pre: Vec<u64> = (0..n).map(|c| iv_of(&store, c)).collect();
+
+    // ---- Arm the cell ----------------------------------------------------
+    let op_key: Vec<u8> = match cell.op {
+        OpType::Insert => b"probe-new".to_vec(),
+        _ => {
+            let keys: Vec<&Vec<u8>> = oracle.keys().collect();
+            keys[rng.gen_range(0..keys.len())].clone()
+        }
+    };
+    let new_val = gen_value(&mut rng, b'N');
+    let home_col = (route_hash(&op_key) % n as u64) as usize;
+    let home_node = store.directory().node_of(home_col);
+
+    match cell.kill {
+        KillTiming::BeforeOp => {
+            if !store.kill_mn(home_col) {
+                out.violations.push("kill_mn reported node already dead".into());
+            }
+            out.mn_killed = true;
+            recover_mn(&store, home_col).map_err(|e| format!("recover_mn(pre): {e}"))?;
+        }
+        KillTiming::BeforeOpDegraded => {
+            if !store.kill_mn(home_col) {
+                out.violations.push("kill_mn reported node already dead".into());
+            }
+            out.mn_killed = true;
+            recover_mn_with(&store, home_col, false)
+                .map_err(|e| format!("recover_mn(index tier): {e}"))?;
+        }
+        KillTiming::None | KillTiming::AtVerb { .. } => {}
+    }
+
+    let mut rules = Vec::new();
+    if let InjectionSite::Verb { kind, skip } = cell.site {
+        rules.push(FaultRule::new(FaultAction::Fail).on_kind(kind).after(skip));
+    }
+    if let KillTiming::AtVerb { skip } = cell.kill {
+        rules.push(
+            FaultRule::new(FaultAction::KillNode)
+                .on_node(home_node)
+                .after(skip),
+        );
+    }
+    let plan = (!rules.is_empty()).then(|| FaultPlan::with_rules(rules));
+    if let Some(p) = &plan {
+        client.dm.install_fault_plan(Arc::clone(p));
+    }
+    if let InjectionSite::Client(cp) = cell.site {
+        client.crash_point = Some(cp);
+    }
+
+    // ---- Run the operation -----------------------------------------------
+    // WhileMetaLocked only triggers on a slot-version rollover, so those
+    // cells repeat the mutation until the version wraps and the crash
+    // fires (a SEARCH never takes the lock and legitimately survives).
+    let needs_rollover =
+        cell.site == InjectionSite::Client(CrashPoint::WhileMetaLocked) && cell.op != OpType::Search;
+    let attempts = if needs_rollover { 300 } else { 1 };
+    let kill_planned = cell.kill != KillTiming::None;
+
+    // The commit ambiguity window: (pre-op state, intended post-op state).
+    let mut ambiguous: Option<(Option<Vec<u8>>, Option<Vec<u8>>)> = None;
+    let mut crashed_at_point = false;
+    let mut crashed_at_verb = false;
+    let mut blocked = false;
+
+    for attempt in 0..attempts {
+        let prev = oracle.get(&op_key).cloned();
+        let (res, intended): (Result<(), StoreError>, Option<Vec<u8>>) = match cell.op {
+            OpType::Insert => (client.insert(&op_key, &new_val), Some(new_val.clone())),
+            OpType::Update => (client.update(&op_key, &new_val), Some(new_val.clone())),
+            OpType::Delete => {
+                if needs_rollover && prev.is_none() {
+                    // Alternate with re-inserts so every delete has a live
+                    // target while the version climbs toward rollover.
+                    (client.insert(&op_key, &new_val), Some(new_val.clone()))
+                } else {
+                    (client.delete(&op_key).map(|_| ()), None)
+                }
+            }
+            OpType::Search => match client.search(&op_key) {
+                Ok(got) => {
+                    if got != prev {
+                        out.violations.push(format!(
+                            "search({}) returned {} want {}",
+                            fmt_key(&op_key),
+                            fmt_state(&got),
+                            fmt_state(&prev)
+                        ));
+                    }
+                    (Ok(()), prev.clone())
+                }
+                Err(e) => (Err(e), prev.clone()),
+            },
+        };
+        match res {
+            Ok(()) => {
+                match &intended {
+                    Some(v) => oracle.insert(op_key.clone(), v.clone()),
+                    None => oracle.remove(&op_key),
+                };
+                if !needs_rollover && attempt + 1 == attempts {
+                    break;
+                }
+            }
+            Err(StoreError::Shutdown) => {
+                crashed_at_point = true;
+                ambiguous = Some((prev, intended));
+                break;
+            }
+            Err(StoreError::Rdma(RdmaError::Injected { .. })) => {
+                crashed_at_verb = true;
+                ambiguous = Some((prev, intended));
+                break;
+            }
+            Err(StoreError::Rdma(RdmaError::NodeUnreachable(_)))
+            | Err(StoreError::RetriesExhausted)
+                if kill_planned =>
+            {
+                // The home MN died under the op and nobody has recovered it
+                // yet: the client is written off as crashed-while-blocked.
+                blocked = true;
+                ambiguous = Some((prev, intended));
+                break;
+            }
+            Err(e) => {
+                out.violations
+                    .push(format!("{} op: unexpected error: {e}", cell.op));
+                break;
+            }
+        }
+    }
+
+    let crashed = crashed_at_point || crashed_at_verb || blocked;
+    out.client_crashed = crashed;
+    let kill_fired_at_verb = plan
+        .as_ref()
+        .map_or(false, |p| {
+            p.fired()
+                .iter()
+                .any(|f| f.action == FaultAction::KillNode)
+        });
+    if kill_fired_at_verb {
+        out.mn_killed = true;
+    }
+    out.injection_fired = match cell.site {
+        InjectionSite::None => false,
+        InjectionSite::Client(_) => crashed_at_point,
+        InjectionSite::Verb { .. } => plan
+            .as_ref()
+            .map_or(false, |p| p.fired().iter().any(|f| f.action == FaultAction::Fail)),
+    };
+
+    // ---- Tiered recovery (§3.4: CN consistency first, then MN) -----------
+    let cli_id = client.id();
+    drop(client);
+    if crashed {
+        let mut revived = store.client_with_id(cli_id);
+        recover_cn(&store, &mut revived).map_err(|e| format!("recover_cn: {e}"))?;
+    }
+    if kill_fired_at_verb {
+        recover_mn(&store, home_col).map_err(|e| format!("recover_mn: {e}"))?;
+    }
+    if cell.kill == KillTiming::BeforeOpDegraded {
+        // The op ran against an index-only replacement; finish the Block
+        // tier so the parity invariant is checkable.
+        recover_mn_with(&store, home_col, true)
+            .map_err(|e| format!("recover_mn(block tier): {e}"))?;
+    }
+
+    // ---- Invariants -------------------------------------------------------
+    let mut sweep = store.client().map_err(|e| format!("sweep client: {e}"))?;
+
+    // 1. Oracle agreement, with the ambiguity window on the injected key.
+    for (k, v) in &oracle {
+        if *k == op_key {
+            continue;
+        }
+        match sweep.search(k) {
+            Ok(Some(got)) if got == *v => {}
+            Ok(got) => out.violations.push(format!(
+                "oracle mismatch on {}: got {} want {}",
+                fmt_key(k),
+                fmt_state(&got),
+                fmt_state(&Some(v.clone()))
+            )),
+            Err(e) => out
+                .violations
+                .push(format!("oracle search {}: {e}", fmt_key(k))),
+        }
+    }
+    match sweep.search(&op_key) {
+        Ok(got) => {
+            let allowed: Vec<Option<Vec<u8>>> = match &ambiguous {
+                Some((pre, post)) => vec![pre.clone(), post.clone()],
+                None => vec![oracle.get(&op_key).cloned()],
+            };
+            if !allowed.contains(&got) {
+                out.violations.push(format!(
+                    "op key {} outside ambiguity window: got {} allowed {}",
+                    fmt_key(&op_key),
+                    fmt_state(&got),
+                    allowed
+                        .iter()
+                        .map(fmt_state)
+                        .collect::<Vec<_>>()
+                        .join(" | ")
+                ));
+            }
+        }
+        Err(e) => out
+            .violations
+            .push(format!("op key search {}: {e}", fmt_key(&op_key))),
+    }
+    match sweep.search(b"never-inserted-key") {
+        Ok(None) => {}
+        Ok(got) => out
+            .violations
+            .push(format!("phantom key materialized: {}", fmt_state(&got))),
+        Err(e) => out.violations.push(format!("phantom key search: {e}")),
+    }
+
+    // 2. Meta-lock liveness: a probe write on the injected key must get
+    // through (breaking any lock the crashed client abandoned).
+    let probe = gen_value(&mut rng, b'P');
+    match sweep.insert(&op_key, &probe) {
+        Ok(()) => match sweep.search(&op_key) {
+            Ok(Some(got)) if got == probe => {}
+            Ok(got) => out.violations.push(format!(
+                "probe readback mismatch: got {}",
+                fmt_state(&got)
+            )),
+            Err(e) => out.violations.push(format!("probe readback: {e}")),
+        },
+        Err(e) => out
+            .violations
+            .push(format!("probe insert blocked (stale meta lock?): {e}")),
+    }
+
+    // 3. Index-Version monotonicity across kill + recovery.
+    for (col, pre) in iv_pre.iter().enumerate() {
+        let post = iv_of(&store, col);
+        if post < *pre {
+            out.violations.push(format!(
+                "index version regressed on col {col}: {pre} -> {post}"
+            ));
+        }
+    }
+
+    // 4. Parity-stripe consistency after full recovery.
+    if let Err(e) = sweep.flush_bitmaps() {
+        out.violations.push(format!("final flush: {e}"));
+    }
+    match scrub(&store) {
+        Ok(r) if r.is_clean() => {}
+        Ok(r) => out.violations.push(format!("scrub dirty: {r:?}")),
+        Err(e) => out.violations.push(format!("scrub: {e}")),
+    }
+
+    store.shutdown();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{Cell, InjectionSite, KillTiming, OpType, ReclaimState};
+    use aceso_rdma::VerbKind;
+
+    #[test]
+    fn quiet_cell_passes() {
+        let cell = Cell {
+            op: OpType::Update,
+            site: InjectionSite::None,
+            kill: KillTiming::None,
+            reclaim: ReclaimState::Fresh,
+        };
+        let out = run_cell(&cell, 11);
+        assert!(out.ok(), "{:?}", out.violations);
+        assert!(!out.injection_fired);
+        assert!(!out.mn_killed);
+        assert!(!out.client_crashed);
+    }
+
+    #[test]
+    fn verb_fault_crashes_client_and_recovers() {
+        let cell = Cell {
+            op: OpType::Update,
+            site: InjectionSite::Verb {
+                kind: VerbKind::Write,
+                skip: 0,
+            },
+            kill: KillTiming::None,
+            reclaim: ReclaimState::Fresh,
+        };
+        let out = run_cell(&cell, 12);
+        assert!(out.ok(), "{:?}", out.violations);
+        assert!(out.injection_fired);
+        assert!(out.client_crashed);
+    }
+
+    #[test]
+    fn same_seed_reproduces_identical_outcome() {
+        let cell = Cell {
+            op: OpType::Delete,
+            site: InjectionSite::Client(aceso_core::client::CrashPoint::BeforeCommit),
+            kill: KillTiming::None,
+            reclaim: ReclaimState::Aged,
+        };
+        let a = run_cell(&cell, 99);
+        let b = run_cell(&cell, 99);
+        assert_eq!(a.violations, b.violations);
+        assert_eq!(a.injection_fired, b.injection_fired);
+        assert_eq!(a.client_crashed, b.client_crashed);
+    }
+}

@@ -1,0 +1,230 @@
+//! Matrix sweeps, seeded soak schedules, counterexample minimization,
+//! and the coverage report.
+
+use crate::cell::{full_matrix, Cell, InjectionSite, KillTiming, ReclaimState};
+use crate::runner::{run_cell, CellOutcome};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// A minimized counterexample: the original failing cell, the smallest
+/// still-failing simplification of it, and that simplification's
+/// violations.
+#[derive(Clone, Debug)]
+pub struct Counterexample {
+    /// The cell the sweep caught.
+    pub original: Cell,
+    /// The simplest variant that still violates an invariant.
+    pub minimized: Cell,
+    /// The minimized variant's violations.
+    pub violations: Vec<String>,
+    /// The seed reproducing both.
+    pub seed: u64,
+}
+
+/// Everything a sweep or soak produced.
+#[derive(Clone, Debug)]
+pub struct SweepReport {
+    /// The master seed the schedule derived from.
+    pub seed: u64,
+    /// Per-cell outcomes, in execution order.
+    pub outcomes: Vec<CellOutcome>,
+    /// Minimized counterexamples for the first few violating cells.
+    pub counterexamples: Vec<Counterexample>,
+}
+
+impl SweepReport {
+    /// Number of cells with at least one violation.
+    pub fn violating_cells(&self) -> usize {
+        self.outcomes.iter().filter(|o| !o.ok()).count()
+    }
+
+    /// `true` when every cell passed.
+    pub fn clean(&self) -> bool {
+        self.violating_cells() == 0
+    }
+
+    /// Renders the coverage report: per-axis explored-cell counts, how
+    /// often armed faults actually fired, violations, and minimized
+    /// counterexamples.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        let total = self.outcomes.len();
+        let fired = self.outcomes.iter().filter(|o| o.injection_fired).count();
+        let killed = self.outcomes.iter().filter(|o| o.mn_killed).count();
+        let crashed = self.outcomes.iter().filter(|o| o.client_crashed).count();
+        let ms: u128 = self.outcomes.iter().map(|o| o.duration_ms).sum();
+        s.push_str(&format!(
+            "chaos report: {total} cells, seed {:#x}, {:.1}s\n",
+            self.seed,
+            ms as f64 / 1000.0
+        ));
+        s.push_str(&format!(
+            "  injections fired: {fired}   MNs killed: {killed}   clients crashed: {crashed}\n"
+        ));
+
+        let mut axis = |title: &str, key: &dyn Fn(&CellOutcome) -> String| {
+            let mut counts: BTreeMap<String, (usize, usize)> = BTreeMap::new();
+            for o in &self.outcomes {
+                let e = counts.entry(key(o)).or_default();
+                e.0 += 1;
+                if !o.ok() {
+                    e.1 += 1;
+                }
+            }
+            s.push_str(&format!("  coverage by {title}:\n"));
+            for (k, (run, bad)) in counts {
+                if bad == 0 {
+                    s.push_str(&format!("    {k:<24} {run:>4} cells\n"));
+                } else {
+                    s.push_str(&format!("    {k:<24} {run:>4} cells  {bad} VIOLATING\n"));
+                }
+            }
+        };
+        axis("operation", &|o| o.cell.op.to_string());
+        axis("injection site", &|o| o.cell.site.to_string());
+        axis("kill timing", &|o| o.cell.kill.to_string());
+        axis("reclaim state", &|o| o.cell.reclaim.to_string());
+
+        let bad = self.violating_cells();
+        if bad == 0 {
+            s.push_str("  all invariants held in every explored cell\n");
+        } else {
+            s.push_str(&format!("  INVARIANT VIOLATIONS in {bad} cells:\n"));
+            for o in self.outcomes.iter().filter(|o| !o.ok()) {
+                s.push_str(&format!("    cell {} (seed {:#x}):\n", o.cell, o.seed));
+                for v in &o.violations {
+                    s.push_str(&format!("      - {v}\n"));
+                }
+            }
+            for cx in &self.counterexamples {
+                s.push_str(&format!(
+                    "  minimized counterexample: {} (from {}, seed {:#x}):\n",
+                    cx.minimized, cx.original, cx.seed
+                ));
+                for v in &cx.violations {
+                    s.push_str(&format!("      - {v}\n"));
+                }
+            }
+        }
+        s
+    }
+}
+
+/// Per-cell seeds are drawn from one master stream so the whole schedule
+/// replays from a single number.
+fn cell_seeds(seed: u64, count: usize) -> Vec<u64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count).map(|_| rng.next_u64()).collect()
+}
+
+/// Runs `cells` in order, each with a seed derived from `seed`.
+/// `progress` is called after every cell (CLI verbosity hook).
+pub fn sweep(cells: &[Cell], seed: u64, mut progress: impl FnMut(&CellOutcome)) -> SweepReport {
+    let seeds = cell_seeds(seed, cells.len());
+    let mut outcomes = Vec::with_capacity(cells.len());
+    for (cell, cell_seed) in cells.iter().zip(seeds) {
+        let out = run_cell(cell, cell_seed);
+        progress(&out);
+        outcomes.push(out);
+    }
+    let counterexamples = minimize_failures(&outcomes);
+    SweepReport {
+        seed,
+        outcomes,
+        counterexamples,
+    }
+}
+
+/// Runs seeded random cells from the full matrix until `duration` elapses
+/// (at least one cell always runs).
+pub fn soak(
+    seed: u64,
+    duration: Duration,
+    mut progress: impl FnMut(&CellOutcome),
+) -> SweepReport {
+    let matrix = full_matrix();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let deadline = Instant::now() + duration;
+    let mut outcomes = Vec::new();
+    loop {
+        let cell = matrix[rng.gen_range(0..matrix.len())];
+        let cell_seed = rng.next_u64();
+        let out = run_cell(&cell, cell_seed);
+        progress(&out);
+        outcomes.push(out);
+        if Instant::now() >= deadline {
+            break;
+        }
+    }
+    let counterexamples = minimize_failures(&outcomes);
+    SweepReport {
+        seed,
+        outcomes,
+        counterexamples,
+    }
+}
+
+/// Greedily simplifies the first few violating cells: drop the ageing,
+/// then the injection, then the kill — keeping each simplification only
+/// if the cell still fails. The result is the smallest schedule a
+/// developer has to reason about.
+fn minimize_failures(outcomes: &[CellOutcome]) -> Vec<Counterexample> {
+    const MAX_MINIMIZED: usize = 3;
+    let mut cxs = Vec::new();
+    for o in outcomes.iter().filter(|o| !o.ok()).take(MAX_MINIMIZED) {
+        let mut current = o.cell;
+        let mut violations = o.violations.clone();
+        loop {
+            let candidates = [
+                Cell {
+                    reclaim: ReclaimState::Fresh,
+                    ..current
+                },
+                Cell {
+                    site: InjectionSite::None,
+                    ..current
+                },
+                Cell {
+                    kill: KillTiming::None,
+                    ..current
+                },
+            ];
+            let mut progressed = false;
+            for cand in candidates {
+                if cand == current {
+                    continue;
+                }
+                let rerun = run_cell(&cand, o.seed);
+                if !rerun.ok() {
+                    current = cand;
+                    violations = rerun.violations;
+                    progressed = true;
+                    break;
+                }
+            }
+            if !progressed {
+                break;
+            }
+        }
+        cxs.push(Counterexample {
+            original: o.cell,
+            minimized: current,
+            violations,
+            seed: o.seed,
+        });
+    }
+    cxs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_seeds_are_stable() {
+        assert_eq!(cell_seeds(5, 4), cell_seeds(5, 4));
+        assert_ne!(cell_seeds(5, 4), cell_seeds(6, 4));
+    }
+}

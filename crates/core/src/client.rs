@@ -31,14 +31,52 @@ use aceso_rdma::{Cluster, DmClient, GlobalAddr, OpKind, RdmaError};
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Fault-injection points for crash-consistency tests.
-#[doc(hidden)]
-#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+/// Protocol-step injection sites in the commit path (Algorithm 1).
+///
+/// This is the shared crash-site vocabulary used by the crash-consistency
+/// tests and the `aceso-chaos` matrix runner: setting
+/// [`AcesoClient::crash_point`] makes the *next* operation that reaches the
+/// site return [`StoreError::Shutdown`] mid-protocol, leaving memory in
+/// exactly the state a client crash at that step would leave it.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
 pub enum CrashPoint {
+    /// Crash after allocating the KV slot, before any fabric write.
+    BeforeKvWrite,
     /// Crash after writing the KV slot but before the delta slots.
     AfterKvWrite,
     /// Crash after KV + delta writes, before the commit CAS.
     BeforeCommit,
+    /// Crash right after a successful commit CAS, before the obsolete
+    /// mark / Meta refresh / cache update.
+    AfterCommit,
+    /// Crash while holding the slot's Meta-epoch lock (version rollover or
+    /// lock-break path, Algorithm 1 lines 7–13) — the lock is left for the
+    /// next writer to break.
+    WhileMetaLocked,
+}
+
+impl CrashPoint {
+    /// Every site, in protocol order (matrix enumeration).
+    pub const ALL: [CrashPoint; 5] = [
+        CrashPoint::BeforeKvWrite,
+        CrashPoint::AfterKvWrite,
+        CrashPoint::BeforeCommit,
+        CrashPoint::AfterCommit,
+        CrashPoint::WhileMetaLocked,
+    ];
+}
+
+impl core::fmt::Display for CrashPoint {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            CrashPoint::BeforeKvWrite => "before-kv-write",
+            CrashPoint::AfterKvWrite => "after-kv-write",
+            CrashPoint::BeforeCommit => "before-commit",
+            CrashPoint::AfterCommit => "after-commit",
+            CrashPoint::WhileMetaLocked => "while-meta-locked",
+        };
+        f.write_str(s)
+    }
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -95,7 +133,8 @@ pub struct AcesoClient {
     pending_bits: HashMap<(usize, BlockId), Vec<u32>>,
     pending_count: usize,
     alloc_rr: usize,
-    #[doc(hidden)]
+    /// Armed injection site: the next operation reaching it aborts with
+    /// [`StoreError::Shutdown`], simulating a client crash mid-protocol.
     pub crash_point: Option<CrashPoint>,
 }
 
@@ -234,6 +273,14 @@ impl AcesoClient {
             Ok(_) => self.dm.end_op(kind),
             Err(_) => self.dm.abort_op(),
         }
+    }
+
+    /// Aborts mid-protocol if `site` is the armed crash point.
+    fn maybe_crash(&self, site: CrashPoint) -> Result<()> {
+        if self.crash_point == Some(site) {
+            return Err(StoreError::Shutdown);
+        }
+        Ok(())
     }
 
     // ---- SEARCH ---------------------------------------------------------
@@ -692,6 +739,7 @@ impl AcesoClient {
                         epoch: relock.epoch + 1,
                     };
                     lock_pair = Some((relock, unlocked));
+                    self.maybe_crash(CrashPoint::WhileMetaLocked)?;
                     break;
                 }
                 std::hint::spin_loop();
@@ -711,6 +759,7 @@ impl AcesoClient {
                 epoch: locked.epoch + 1,
             };
             lock_pair = Some((locked, unlocked));
+            self.maybe_crash(CrashPoint::WhileMetaLocked)?;
         }
 
         let commit_epoch = match &lock_pair {
@@ -731,6 +780,9 @@ impl AcesoClient {
         };
         let prev = index.cas_atomic(&self.dm, slot_addr, atomic, new_atomic)?;
         let committed = prev == atomic;
+        if committed {
+            self.maybe_crash(CrashPoint::AfterCommit)?;
+        }
         if !committed {
             self.invalidate_kv(&place)?;
         }
@@ -790,6 +842,7 @@ impl AcesoClient {
             self.invalidate_kv(&place)?;
             return Ok(CommitOutcome::Retry);
         }
+        self.maybe_crash(CrashPoint::AfterCommit)?;
         let new_meta = SlotMeta {
             len64: class,
             epoch: 0,
@@ -831,6 +884,7 @@ impl AcesoClient {
             xor_into(&mut delta, old);
         }
 
+        self.maybe_crash(CrashPoint::BeforeKvWrite)?;
         let crash = self.crash_point;
         let mut res: Result<()> = Ok(());
         self.dm.batch(|dm| {
@@ -1112,7 +1166,7 @@ impl AcesoClient {
         loop {
             match f(&self.dm) {
                 Ok(v) => return Ok(v),
-                Err(RdmaError::NodeUnreachable(_)) if waited < 10_000 => {
+                Err(RdmaError::NodeUnreachable(_)) if waited < self.tuning.index_wait_ms => {
                     std::thread::sleep(std::time::Duration::from_millis(1));
                     waited += 1;
                 }

@@ -158,6 +158,10 @@ pub struct ClientTuning {
     pub cache_slot_addr: bool,
     /// Commit retry budget before reporting `RetriesExhausted`.
     pub max_retries: usize,
+    /// How long (ms) index reads wait for a crashed column's replacement
+    /// before surfacing the error. Chaos harnesses shrink this so blocked
+    /// clients fail fast instead of stalling a whole matrix cell.
+    pub index_wait_ms: u64,
 }
 
 impl Default for ClientTuning {
@@ -166,6 +170,7 @@ impl Default for ClientTuning {
             use_cache: true,
             cache_slot_addr: true,
             max_retries: 10_000,
+            index_wait_ms: 10_000,
         }
     }
 }

@@ -303,7 +303,8 @@ pub fn recover_mn_with(
 
     // Scan KV pairs and reapply the freshest ones to the restored index.
     let t = Instant::now();
-    report.kv_count = scan_and_reapply(store, &server, col, &scanned)?;
+    let (kv_count, deferred) = scan_and_reapply(store, &server, col, &scanned)?;
+    report.kv_count = kv_count;
     report.scan_kv_ms = t.elapsed().as_secs_f64() * 1e3;
 
     // ---- Publish: functionality is back (degraded reads). --------------
@@ -325,6 +326,11 @@ pub fn recover_mn_with(
         16,
     );
 
+    // The replacement now serves reads, but parity cells and delta copies
+    // hosted on this column are still zeroed until the rebuild below runs.
+    // Flag the window so CN recovery knows not to trust delta bytes here.
+    store.degraded.lock().push(col);
+
     // ---- Tier 3: old local blocks. --------------------------------------
     if !block_tier {
         return Ok(report);
@@ -340,6 +346,27 @@ pub fn recover_mn_with(
     report.old_lblock_cpu_ms = t.elapsed().as_secs_f64() * 1e3;
     report.old_lblock_net_ms = modeled_transfer_ms(store, net_bytes, net_ops);
     report.recover_old_lblock_ms = report.old_lblock_cpu_ms + report.old_lblock_net_ms;
+
+    // Resolve the fp-matches the index scan could not verify while old
+    // block contents were missing. A checkpoint entry pointing into an
+    // old block is unreadable during the Index tier, so a fresher scanned
+    // KV for the same key was reapplied into a second slot; now that old
+    // blocks are restored, confirm and clear the stale duplicate —
+    // otherwise a search can probe it first and resurface the pre-crash
+    // value of a key that was updated in the degraded window.
+    for d in &deferred {
+        let atomic = SlotAtomic::decode(node.region.load64(d.stale_off).expect("slot"));
+        if atomic.is_empty() {
+            continue;
+        }
+        let meta = SlotMeta::decode(node.region.load64(d.stale_off + 8).expect("slot"));
+        if read_key_at(store, atomic.addr48, meta.len64).as_deref() == Some(d.key.as_slice())
+            && slot_version(meta.epoch & !1, atomic.ver) < d.new_sv
+        {
+            node.region.store64(d.stale_off, 0).expect("slot clear");
+            node.region.store64(d.stale_off + 8, 0).expect("slot clear");
+        }
+    }
 
     // ---- Background: parity cells + delta blocks of failed columns. -----
     // With multiple concurrent failures, parity needs peers' recovered
@@ -358,6 +385,8 @@ pub fn recover_mn_with(
         }
         report.parity_ms =
             t.elapsed().as_secs_f64() * 1e3 + (net_bytes as f64 / cost.node_bw) * 1e3;
+        // Every pending column's parity and delta copies are whole again.
+        store.degraded.lock().clear();
     }
 
     Ok(report)
@@ -496,7 +525,12 @@ fn reconstruct_failed_column(
         }
     }
 
-    // Delta content per data cell (row, col), from any reachable copy.
+    // Delta content per data cell (row, col), from any trustworthy copy.
+    // A copy hosted on the column being recovered is lost by definition,
+    // and one hosted on a column still in its degraded window reads back
+    // as zeros (re-materialized only by the parity rebuild) — a read of
+    // either would "succeed" with garbage once a replacement is serving.
+    let degraded: Vec<usize> = store.degraded.lock().clone();
     let delta_of = |row: usize, c: usize| -> Option<Vec<u8>> {
         let (diag, anti) = xcode.parity_cells_for(row, c);
         for (prow, pcol) in [diag, anti] {
@@ -508,6 +542,9 @@ fn reconstruct_failed_column(
                 continue;
             }
             let (dcol, doff) = unpack_col(packed);
+            if dcol == col || degraded.contains(&dcol) {
+                continue;
+            }
             if let Ok(bytes) = dm.read_vec(GlobalAddr::new(dir.node_of(dcol), doff), bs) {
                 return Some(bytes);
             }
@@ -644,17 +681,22 @@ fn rebuild_parity_and_deltas(
             .expect("own parity equation");
         let mut parity = vec![0u8; bs];
         for &(r, c) in &eq.data {
-            if xor_map & (1 << r) == 0 {
-                continue;
+            // An unencoded cell (xor_map bit clear) contributes zero to the
+            // parity equation, but its pending delta copy must still be
+            // re-materialized below: for open cells the two delta replicas
+            // ARE the redundancy, and leaving the lost copy stale would
+            // silently drop to one replica until the block encodes.
+            let encoded = xor_map & (1 << r) != 0;
+            if encoded {
+                // Encoded content of the covered cell: C ⊕ pending delta.
+                let did = map.blocks.cell_block_id(array, r);
+                let cbuf = dm.read_vec(
+                    GlobalAddr::new(dir.node_of(c), map.blocks.block_offset(did)),
+                    bs,
+                )?;
+                net += bs as u64;
+                xor_into(&mut parity, &cbuf);
             }
-            // Encoded content of the covered cell: C ⊕ pending delta.
-            let did = map.blocks.cell_block_id(array, r);
-            let cbuf = dm.read_vec(
-                GlobalAddr::new(dir.node_of(c), map.blocks.block_offset(did)),
-                bs,
-            )?;
-            net += bs as u64;
-            xor_into(&mut parity, &cbuf);
             if delta_addrs[r] != 0 {
                 // This cell has a pending delta whose copy on our column was
                 // lost; fetch the surviving copy on the cell's other parity
@@ -680,7 +722,9 @@ fn rebuild_parity_and_deltas(
                     let (dc, doff) = unpack_col(other_rec.delta_addr[r]);
                     let dbuf = dm.read_vec(GlobalAddr::new(dir.node_of(dc), doff), bs)?;
                     net += bs as u64;
-                    xor_into(&mut parity, &dbuf);
+                    if encoded {
+                        xor_into(&mut parity, &dbuf);
+                    }
                     // Re-materialize our local delta copy.
                     let (dcol_old, doff_old) = unpack_col(delta_addrs[r]);
                     debug_assert_eq!(dcol_old, col);
@@ -704,14 +748,29 @@ fn rebuild_parity_and_deltas(
     Ok(net)
 }
 
+/// An fp-matching index slot the scan could not verify (its pointer
+/// targets a block whose contents are not restored until the Block tier),
+/// next to which a fresher scanned KV was reapplied. Once old blocks are
+/// readable again the slot is re-checked: if it really is the same key,
+/// the stale duplicate is cleared so searches cannot resurface the
+/// pre-crash value.
+struct UnverifiedDup {
+    key: Vec<u8>,
+    /// Region offset of the slot that could not be verified.
+    stale_off: u64,
+    /// Slot version of the freshly reapplied entry.
+    new_sv: u64,
+}
+
 /// Scans new blocks and reapplies the freshest KV per slot to the restored
-/// index of `col` (§3.2.2–§3.2.3). Returns the number of KVs scanned.
+/// index of `col` (§3.2.2–§3.2.3). Returns the number of KVs scanned plus
+/// the fp-matches that must be re-checked after the Block tier.
 fn scan_and_reapply(
     store: &Arc<AcesoStore>,
     server: &Arc<MnServer>,
     col: usize,
     scanned: &[ScannedBlock],
-) -> Result<usize> {
+) -> Result<(usize, Vec<UnverifiedDup>)> {
     let map = store.map;
     let n = store.cfg.num_mns as u64;
     let bs = map.blocks.block_size;
@@ -760,10 +819,12 @@ fn scan_and_reapply(
     // Reapply into the restored index (all local region writes).
     let region = &server.node.region;
     let layout = map.index;
+    let mut dups: Vec<UnverifiedDup> = Vec::new();
     for (key, b) in best {
         let fp = fingerprint(&key);
         let mut applied = false;
         let mut first_empty: Option<u64> = None;
+        let mut unverified: Option<u64> = None;
         'groups: for (g, c) in layout.buckets_for(&key) {
             for s in 0..aceso_index::layout::COMBINED_SLOTS {
                 let off = layout.slot_offset(g, c, s);
@@ -782,7 +843,13 @@ fn scan_and_reapply(
                     .get(&atomic.addr48)
                     .cloned()
                     .or_else(|| read_key_at(store, atomic.addr48, meta.len64));
-                if slot_key.as_deref() != Some(key.as_slice()) {
+                let Some(slot_key) = slot_key else {
+                    // Unreadable target (an old block not restored until
+                    // the Block tier): re-check once contents are back.
+                    unverified.get_or_insert(off);
+                    continue;
+                };
+                if slot_key != key {
                     continue;
                 }
                 let current_sv = slot_version(meta.epoch & !1, atomic.ver);
@@ -796,10 +863,17 @@ fn scan_and_reapply(
         if !applied {
             if let Some(off) = first_empty {
                 write_slot(region, off, fp, b.packed, b.sv, b.class);
+                if let Some(stale_off) = unverified {
+                    dups.push(UnverifiedDup {
+                        key,
+                        stale_off,
+                        new_sv: b.sv,
+                    });
+                }
             }
         }
     }
-    Ok(kv_count)
+    Ok((kv_count, dups))
 }
 
 fn write_slot(region: &aceso_rdma::Region, off: u64, fp: u8, packed: u64, sv: u64, class: u8) {
@@ -879,9 +953,16 @@ pub fn recover_cn(
                 ServerResp::OldCopy { bytes: Some(b) } => b,
                 _ => vec![0u8; bs],
             };
-            // Fetch both delta blocks.
+            // Fetch both delta blocks. Copies hosted on a column still in
+            // its degraded window read back as zeros (the replacement
+            // re-materializes them only in the parity rebuild); trusting
+            // those bytes would classify every committed slot as torn and
+            // the "repair" would zero the surviving copy too. Judge
+            // consistency from trustworthy copies only.
+            let degraded: Vec<usize> = store.degraded.lock().clone();
             let (diag, anti) = xcode.parity_cells_for(row, col);
             let mut dinfo: Vec<(usize, u64, Vec<u8>)> = Vec::new();
+            let mut skipped_degraded = false;
             for (prow, pcol) in [diag, anti] {
                 let pid = map.blocks.cell_block_id(array, prow);
                 let Ok(ServerResp::Record { bytes }) = dm.rpc(
@@ -897,9 +978,18 @@ pub fn recover_cn(
                     continue;
                 }
                 let (dc, doff) = unpack_col(prec.delta_addr[row]);
+                if degraded.contains(&dc) {
+                    skipped_degraded = true;
+                    continue;
+                }
                 if let Ok(dbuf) = dm.read_vec(GlobalAddr::new(dir.node_of(dc), doff), bs) {
                     dinfo.push((dc, doff, dbuf));
                 }
+            }
+            if dinfo.is_empty() && skipped_degraded {
+                // No trustworthy copy left to judge against: defer this
+                // block to the column's block-tier recovery.
+                continue;
             }
 
             for s in 0..slots {

@@ -28,7 +28,7 @@ use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
 /// Outcome of one scrub pass.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct ScrubReport {
     /// Stripe arrays examined.
     pub arrays_checked: usize,
@@ -38,6 +38,8 @@ pub struct ScrubReport {
     pub parity_mismatch: usize,
     /// Data cells whose two delta copies disagree.
     pub delta_copy_mismatch: usize,
+    /// Human-readable location of each mismatch (chaos counterexamples).
+    pub mismatches: Vec<String>,
 }
 
 impl ScrubReport {
@@ -120,6 +122,12 @@ pub fn scrub(store: &Arc<AcesoStore>) -> Result<ScrubReport> {
                     let b2 = read_block(c2, o2)?;
                     if b1 != b2 {
                         report.delta_copy_mismatch += 1;
+                        let diff = b1.iter().zip(&b2).filter(|(a, b)| a != b).count();
+                        report.mismatches.push(format!(
+                            "delta copies of cell (array {array}, r {r}, c {c}) \
+                             disagree: col {c1}@{o1:#x} vs col {c2}@{o2:#x}, \
+                             {diff} bytes differ"
+                        ));
                     }
                 }
             }
@@ -149,6 +157,12 @@ pub fn scrub(store: &Arc<AcesoStore>) -> Result<ScrubReport> {
                 report.parity_ok += 1;
             } else {
                 report.parity_mismatch += 1;
+                let diff = expect.iter().zip(&actual).filter(|(a, b)| a != b).count();
+                report.mismatches.push(format!(
+                    "parity equation (array {array}, prow {}, pcol {}) fails: \
+                     {diff} bytes differ",
+                    eq.parity_row, eq.parity_col
+                ));
             }
         }
     }

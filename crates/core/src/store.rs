@@ -51,6 +51,10 @@ pub struct AcesoStore {
     /// Columns whose PARITY rebuild is deferred until every column is back
     /// (multi-failure recovery cannot rebuild parity from dead peers).
     pub(crate) pending_parity: Mutex<Vec<usize>>,
+    /// Columns serving reads whose hosted parity/delta copies are not yet
+    /// re-materialized (the degraded window between the Index tier and the
+    /// parity rebuild). CN recovery must not trust delta bytes hosted here.
+    pub(crate) degraded: Mutex<Vec<usize>>,
 }
 
 impl AcesoStore {
@@ -97,6 +101,7 @@ impl AcesoStore {
             next_cli: AtomicU32::new(1),
             running: Arc::new(AtomicBool::new(true)),
             pending_parity: Mutex::new(Vec::new()),
+            degraded: Mutex::new(Vec::new()),
         });
         if cfg.auto_checkpoint {
             let weak = Arc::downgrade(&store);
@@ -191,11 +196,13 @@ impl AcesoStore {
     }
 
     /// Injects a fail-stop crash of the MN currently serving `col`.
-    pub fn kill_mn(&self, col: usize) {
+    /// Idempotent: returns whether the node was alive (see
+    /// [`aceso_rdma::Cluster::kill_node`]).
+    pub fn kill_mn(&self, col: usize) -> bool {
         let node = self.dir.node_of(col);
         let server = self.server(col);
         server.alive.store(false, Ordering::Release);
-        self.cluster.kill_node(node);
+        self.cluster.kill_node(node)
     }
 
     /// Sums Block Area consumption across the group (Figure 12).

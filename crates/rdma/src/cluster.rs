@@ -3,11 +3,12 @@
 use crate::addr::NodeId;
 use crate::cost::CostModel;
 use crate::error::{RdmaError, Result};
+use crate::fault::FaultPlan;
 use crate::master::Master;
 use crate::region::Region;
 use crate::stats::VerbCounters;
 use crate::verbs::DmClient;
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
@@ -22,6 +23,9 @@ pub struct MemoryNode {
     pub traffic: VerbCounters,
     /// Background (server/recovery-initiated) traffic through this NIC.
     pub background: VerbCounters,
+    /// Node-side fault plan: intercepts every verb targeting this node,
+    /// from any client (see [`crate::FaultPlan`]).
+    fault: Mutex<Option<Arc<FaultPlan>>>,
 }
 
 impl MemoryNode {
@@ -32,6 +36,7 @@ impl MemoryNode {
             alive: AtomicBool::new(true),
             traffic: VerbCounters::new(),
             background: VerbCounters::new(),
+            fault: Mutex::new(None),
         }
     }
 
@@ -42,8 +47,25 @@ impl MemoryNode {
     }
 
     /// Fails the node: all subsequent verbs return `NodeUnreachable`.
-    pub fn kill(&self) {
-        self.alive.store(false, Ordering::Release);
+    /// Returns whether the node was alive (idempotent; `false` on a
+    /// double-kill).
+    pub fn kill(&self) -> bool {
+        self.alive.swap(false, Ordering::AcqRel)
+    }
+
+    /// Installs a fault plan intercepting all verbs to this node.
+    pub fn install_fault_plan(&self, plan: Arc<FaultPlan>) {
+        *self.fault.lock() = Some(plan);
+    }
+
+    /// Removes the node's fault plan, if any.
+    pub fn clear_fault_plan(&self) {
+        *self.fault.lock() = None;
+    }
+
+    /// The currently installed fault plan, if any.
+    pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
+        self.fault.lock().clone()
     }
 }
 
@@ -134,11 +156,19 @@ impl Cluster {
 
     /// Injects a fail-stop crash of `id`: verbs start failing and the master
     /// broadcasts the failure to subscribers.
-    pub fn kill_node(&self, id: NodeId) {
-        if let Some(n) = self.node_any(id) {
-            n.kill();
+    ///
+    /// Idempotent: returns whether the node was alive, and only the first
+    /// kill notifies the master, so chaos schedules that double-kill a node
+    /// are well-defined (the second kill is a no-op returning `false`).
+    pub fn kill_node(&self, id: NodeId) -> bool {
+        let Some(n) = self.node_any(id) else {
+            return false;
+        };
+        let was_alive = n.kill();
+        if was_alive {
             self.master.mark_failed(id);
         }
+        was_alive
     }
 
     /// Adds a fresh memory node (the recovery target) and returns its handle.
@@ -185,7 +215,10 @@ mod tests {
         });
         assert_eq!(c.len(), 3);
         assert!(c.node(NodeId(2)).is_ok());
-        c.kill_node(NodeId(2));
+        assert!(c.kill_node(NodeId(2)));
+        // Idempotent: a double-kill reports the node was already dead.
+        assert!(!c.kill_node(NodeId(2)));
+        assert!(!c.kill_node(NodeId(9)));
         assert!(matches!(
             c.node(NodeId(2)),
             Err(RdmaError::NodeUnreachable(NodeId(2)))

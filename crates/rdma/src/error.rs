@@ -1,6 +1,7 @@
 //! Error types for the simulated fabric.
 
 use crate::addr::NodeId;
+use crate::fault::VerbKind;
 use core::fmt;
 
 /// Convenience alias used throughout the workspace.
@@ -33,6 +34,16 @@ pub enum RdmaError {
     RpcClosed,
     /// The RPC call timed out (used by lease/membership machinery).
     RpcTimeout,
+    /// An installed [`crate::FaultPlan`] failed this verb. Unlike
+    /// `NodeUnreachable` (which clients retry across recovery), an injected
+    /// failure propagates, standing in for a client that crashed at this
+    /// exact protocol step.
+    Injected {
+        /// The failed verb's class.
+        verb: VerbKind,
+        /// The verb's target node.
+        node: NodeId,
+    },
 }
 
 impl fmt::Display for RdmaError {
@@ -51,6 +62,9 @@ impl fmt::Display for RdmaError {
             RdmaError::Unaligned(off) => write!(f, "atomic verb on unaligned offset {off:#x}"),
             RdmaError::RpcClosed => write!(f, "rpc endpoint closed"),
             RdmaError::RpcTimeout => write!(f, "rpc timed out"),
+            RdmaError::Injected { verb, node } => {
+                write!(f, "injected fault on {verb} to {node}")
+            }
         }
     }
 }

@@ -27,6 +27,7 @@ pub mod addr;
 pub mod cluster;
 pub mod cost;
 pub mod error;
+pub mod fault;
 pub mod master;
 pub mod region;
 pub mod rpc;
@@ -37,6 +38,7 @@ pub use addr::{GlobalAddr, NodeId};
 pub use cluster::{Cluster, ClusterConfig, MemoryNode};
 pub use cost::{Bottleneck, CostModel, LatencyReport, PhaseMeasurement, PhaseReport};
 pub use error::{RdmaError, Result};
+pub use fault::{FaultAction, FaultPlan, FaultRule, FaultSite, FiredFault, VerbKind};
 pub use master::{FailureEvent, Master, MembershipView};
 pub use region::Region;
 pub use rpc::rpc_channel;

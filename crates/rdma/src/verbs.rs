@@ -18,7 +18,8 @@
 
 use crate::addr::{GlobalAddr, NodeId};
 use crate::cluster::{Cluster, MemoryNode};
-use crate::error::Result;
+use crate::error::{RdmaError, Result};
+use crate::fault::{FaultAction, FaultPlan, FaultSite, VerbKind};
 use crate::rpc::RpcClient;
 use crate::stats::{OpKind, OpRecord, OpStats, VerbCounters};
 use parking_lot::Mutex;
@@ -61,6 +62,7 @@ pub struct DmClient {
     counters: Arc<VerbCounters>,
     ops: Mutex<OpStats>,
     cur: Mutex<CurOp>,
+    fault: Mutex<Option<Arc<FaultPlan>>>,
 }
 
 impl DmClient {
@@ -71,7 +73,47 @@ impl DmClient {
             counters: Arc::new(VerbCounters::new()),
             ops: Mutex::new(OpStats::new()),
             cur: Mutex::new(CurOp::default()),
+            fault: Mutex::new(None),
         }
+    }
+
+    /// Installs a fault plan intercepting every verb this client issues.
+    pub fn install_fault_plan(&self, plan: Arc<FaultPlan>) {
+        *self.fault.lock() = Some(plan);
+    }
+
+    /// Removes this client's fault plan, if any.
+    pub fn clear_fault_plan(&self) {
+        *self.fault.lock() = None;
+    }
+
+    /// Consults the client-side then the node-side fault plan for one verb.
+    /// `Ok(true)` means "execute the verb, then fail-stop the target node"
+    /// ([`FaultAction::KillNode`]); delays are served inline; `Fail`
+    /// surfaces as [`RdmaError::Injected`] before the memory is touched.
+    fn intercept(&self, node: &MemoryNode, kind: VerbKind, offset: u64, len: usize) -> Result<bool> {
+        let site = FaultSite {
+            kind,
+            node: node.id,
+            offset,
+            len,
+        };
+        let mut kill_after = false;
+        let plans = [self.fault.lock().clone(), node.fault_plan()];
+        for plan in plans.into_iter().flatten() {
+            match plan.intercept(site) {
+                None => {}
+                Some(FaultAction::Fail) => {
+                    return Err(RdmaError::Injected {
+                        verb: kind,
+                        node: node.id,
+                    })
+                }
+                Some(FaultAction::Delay(us)) => FaultPlan::apply_delay(us),
+                Some(FaultAction::KillNode) => kill_after = true,
+            }
+        }
+        Ok(kill_after)
     }
 
     /// The cluster this client is attached to.
@@ -126,8 +168,10 @@ impl DmClient {
     /// `RDMA_READ`: reads `dst.len()` bytes at `addr`.
     pub fn read(&self, addr: GlobalAddr, dst: &mut [u8]) -> Result<()> {
         let node = self.node(addr.node)?;
+        let kill = self.intercept(&node, VerbKind::Read, addr.offset, dst.len())?;
         node.region.read(addr.offset, dst)?;
         self.account(&node, VerbClass::Read, dst.len(), 0);
+        self.kill_after(&node, kill);
         Ok(())
     }
 
@@ -141,16 +185,20 @@ impl DmClient {
     /// Atomically loads the 8-byte word at `addr` (an 8 B `RDMA_READ`).
     pub fn read_u64(&self, addr: GlobalAddr) -> Result<u64> {
         let node = self.node(addr.node)?;
+        let kill = self.intercept(&node, VerbKind::Read, addr.offset, 8)?;
         let v = node.region.load64(addr.offset)?;
         self.account(&node, VerbClass::Read, 8, 0);
+        self.kill_after(&node, kill);
         Ok(v)
     }
 
     /// `RDMA_WRITE`: writes `src` at `addr`.
     pub fn write(&self, addr: GlobalAddr, src: &[u8]) -> Result<()> {
         let node = self.node(addr.node)?;
+        let kill = self.intercept(&node, VerbKind::Write, addr.offset, src.len())?;
         node.region.write(addr.offset, src)?;
         self.account(&node, VerbClass::Write, 0, src.len());
+        self.kill_after(&node, kill);
         Ok(())
     }
 
@@ -168,17 +216,29 @@ impl DmClient {
     /// iff it equals `expected`.
     pub fn cas(&self, addr: GlobalAddr, expected: u64, new: u64) -> Result<u64> {
         let node = self.node(addr.node)?;
+        let kill = self.intercept(&node, VerbKind::Cas, addr.offset, 8)?;
         let prev = node.region.cas64(addr.offset, expected, new)?;
         self.account(&node, VerbClass::Cas, 8, 8);
+        self.kill_after(&node, kill);
         Ok(prev)
     }
 
     /// `RDMA_FAA` on the 8-byte word at `addr`; returns the pre-add value.
     pub fn faa(&self, addr: GlobalAddr, delta: u64) -> Result<u64> {
         let node = self.node(addr.node)?;
+        let kill = self.intercept(&node, VerbKind::Faa, addr.offset, 8)?;
         let prev = node.region.faa64(addr.offset, delta)?;
         self.account(&node, VerbClass::Faa, 8, 8);
+        self.kill_after(&node, kill);
         Ok(prev)
+    }
+
+    /// Applies a pending [`FaultAction::KillNode`]: the verb has executed,
+    /// now the target fail-stops (crash-right-after-the-access timing).
+    fn kill_after(&self, node: &MemoryNode, kill: bool) {
+        if kill {
+            self.cluster.kill_node(node.id);
+        }
     }
 
     /// Issues several verbs as one doorbell batch: they count individually
@@ -214,7 +274,9 @@ impl DmClient {
     ) -> Result<Resp> {
         const RESP_BYTES: usize = 256;
         let node = self.node(node_id)?;
+        let kill = self.intercept(&node, VerbKind::Rpc, 0, req_bytes)?;
         let resp = rpc.call(req)?;
+        self.kill_after(&node, kill);
         let node_ctr = if self.background {
             &node.background
         } else {
@@ -246,7 +308,9 @@ impl DmClient {
         req_bytes: usize,
     ) -> Result<()> {
         let node = self.node(node_id)?;
+        let kill = self.intercept(&node, VerbKind::Rpc, 0, req_bytes)?;
         rpc.cast(req)?;
+        self.kill_after(&node, kill);
         let node_ctr = if self.background {
             &node.background
         } else {
@@ -327,6 +391,7 @@ mod tests {
     use super::*;
     use crate::cluster::ClusterConfig;
     use crate::cost::CostModel;
+    use crate::fault::FaultRule;
 
     fn cluster() -> Arc<Cluster> {
         Cluster::new(ClusterConfig {
@@ -403,6 +468,69 @@ mod tests {
         assert!(cl.cas(a, 0, 1).is_err());
         // And nothing was accounted.
         assert_eq!(cl.counters().snapshot().verbs(), 0);
+    }
+
+    #[test]
+    fn injected_fail_leaves_memory_untouched() {
+        let c = cluster();
+        let cl = c.client();
+        let a = GlobalAddr::new(NodeId(0), 64);
+        cl.write(a, &[7u8; 8]).unwrap();
+        cl.install_fault_plan(FaultPlan::with_rules(vec![FaultRule::new(FaultAction::Fail)
+            .on_kind(VerbKind::Write)
+            .on_node(NodeId(0))]));
+        assert_eq!(
+            cl.write(a, &[9u8; 8]),
+            Err(RdmaError::Injected {
+                verb: VerbKind::Write,
+                node: NodeId(0)
+            })
+        );
+        // One fire only: the retry goes through, and the failed write never
+        // reached memory.
+        assert_eq!(cl.read_vec(a, 8).unwrap(), vec![7u8; 8]);
+        cl.write(a, &[9u8; 8]).unwrap();
+        assert_eq!(cl.read_vec(a, 8).unwrap(), vec![9u8; 8]);
+    }
+
+    #[test]
+    fn kill_after_nth_verb_executes_then_kills() {
+        let c = cluster();
+        let cl = c.client();
+        let a = GlobalAddr::new(NodeId(1), 0);
+        cl.install_fault_plan(FaultPlan::with_rules(vec![FaultRule::new(
+            FaultAction::KillNode,
+        )
+        .on_node(NodeId(1))
+        .after(1)]));
+        cl.write(a, &[1u8; 8]).unwrap(); // verb 0: passes
+        cl.write(a.add(8), &[2u8; 8]).unwrap(); // verb 1: lands, then node dies
+        assert!(c.node(NodeId(1)).is_err());
+        assert!(!c.master.is_alive(NodeId(1)));
+        // The killing write did execute (forensic read of the dead region).
+        let dead = c.node_any(NodeId(1)).unwrap();
+        let mut buf = [0u8; 8];
+        dead.region.read(8, &mut buf).unwrap();
+        assert_eq!(buf, [2u8; 8]);
+        // Subsequent verbs fail with NodeUnreachable, not Injected.
+        assert_eq!(
+            cl.write(a, &[3u8; 8]),
+            Err(RdmaError::NodeUnreachable(NodeId(1)))
+        );
+    }
+
+    #[test]
+    fn node_side_plan_hits_every_client() {
+        let c = cluster();
+        let node = c.node(NodeId(0)).unwrap();
+        node.install_fault_plan(FaultPlan::with_rules(vec![FaultRule::new(FaultAction::Fail)
+            .on_kind(VerbKind::Cas)
+            .fires(2)]));
+        let a = GlobalAddr::new(NodeId(0), 0);
+        assert!(c.client().cas(a, 0, 1).is_err());
+        assert!(c.background_client().cas(a, 0, 1).is_err());
+        node.clear_fault_plan();
+        assert!(c.client().cas(a, 0, 1).is_ok());
     }
 
     #[test]

@@ -1,0 +1,71 @@
+//! Membership-service coverage for the node replacement path: kill
+//! idempotency, `add_node`, and the master's event stream across a
+//! kill → replace cycle.
+
+use aceso_rdma::{Cluster, ClusterConfig, CostModel, FailureEvent, NodeId};
+
+fn cluster(n: usize) -> std::sync::Arc<Cluster> {
+    Cluster::new(ClusterConfig {
+        num_mns: n,
+        region_len: 4096,
+        cost: CostModel::default(),
+    })
+}
+
+#[test]
+fn kill_is_idempotent_and_notifies_once() {
+    let c = cluster(3);
+    let rx = c.master.subscribe();
+    assert!(c.kill_node(NodeId(1)));
+    assert!(!c.kill_node(NodeId(1)));
+    assert!(!c.kill_node(NodeId(1)));
+    assert_eq!(rx.recv().unwrap(), FailureEvent::NodeFailed(NodeId(1)));
+    // Exactly one failure event despite three kills.
+    assert!(rx.try_recv().is_err());
+}
+
+#[test]
+fn replacement_node_joins_membership() {
+    let c = cluster(2);
+    let rx = c.master.subscribe();
+    let epoch0 = c.master.view().epoch;
+
+    c.kill_node(NodeId(0));
+    let n = c.add_node(4096);
+    assert_eq!(n.id, NodeId(2));
+    assert!(n.is_alive());
+
+    // The master view reflects the swap: node 0 gone, node 2 in.
+    let view = c.master.view();
+    assert!(view.epoch >= epoch0 + 2);
+    assert!(!view.alive.contains(&NodeId(0)));
+    assert!(view.alive.contains(&NodeId(1)));
+    assert!(view.alive.contains(&NodeId(2)));
+
+    // Subscribers saw the failure then the join, in order.
+    assert_eq!(rx.recv().unwrap(), FailureEvent::NodeFailed(NodeId(0)));
+    assert_eq!(rx.recv().unwrap(), FailureEvent::NodeJoined(NodeId(2)));
+
+    // The replacement accepts verbs; the dead node keeps failing.
+    let cl = c.client();
+    let a = aceso_rdma::GlobalAddr::new(NodeId(2), 0);
+    cl.write(a, &[1u8; 8]).unwrap();
+    assert!(cl
+        .write(aceso_rdma::GlobalAddr::new(NodeId(0), 0), &[1u8; 8])
+        .is_err());
+}
+
+#[test]
+fn double_kill_then_replace_keeps_ids_stable() {
+    let c = cluster(3);
+    c.kill_node(NodeId(2));
+    c.kill_node(NodeId(2)); // Well-defined no-op.
+    let a = c.add_node(4096);
+    let b = c.add_node(4096);
+    // Appended ids never reuse a crashed slot.
+    assert_eq!((a.id, b.id), (NodeId(3), NodeId(4)));
+    assert_eq!(c.len(), 5);
+    assert!(c.node(NodeId(3)).is_ok());
+    assert!(c.node(NodeId(4)).is_ok());
+    assert!(c.node(NodeId(2)).is_err());
+}

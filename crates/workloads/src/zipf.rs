@@ -12,6 +12,8 @@ use rand::Rng;
 pub struct Zipf {
     cdf: Vec<f64>,
     n: u64,
+    /// Feistel half-width (bits) of the scatter permutation's domain.
+    half_bits: u32,
 }
 
 impl Zipf {
@@ -32,7 +34,11 @@ impl Zipf {
         for c in &mut cdf {
             *c /= total;
         }
-        Zipf { cdf, n }
+        // Smallest even bit-width whose domain covers n (Feistel halves
+        // must be equal, so round the width up to even).
+        let bits = (64 - (n - 1).leading_zeros()).max(2);
+        let half_bits = bits.div_ceil(2);
+        Zipf { cdf, n, half_bits }
     }
 
     /// Samples a key id in `0..n`.
@@ -46,16 +52,36 @@ impl Zipf {
     }
 
     /// Scatters rank `r` over the key range with a fixed permutation.
+    ///
+    /// A 3-round Feistel network over the smallest even-width power-of-two
+    /// domain covering `n`, cycle-walked back into `0..n`. Unlike a hash
+    /// modulo `n`, this is bijective: no two ranks merge onto one key, so
+    /// the sampled distribution is exactly the Zipf mass per key.
     fn scatter(&self, r: u64) -> u64 {
-        // A multiplicative hash modulo n is not a permutation in general,
-        // so use a Feistel-ish mix and take the result modulo n, retrying
-        // deterministically on collisions is unnecessary: YCSB also just
-        // hashes (collisions merely merge two ranks' mass).
-        let mut x = r.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        x ^= x >> 29;
-        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        x ^= x >> 32;
-        x % self.n
+        let mut x = r;
+        loop {
+            x = self.permute(x);
+            if x < self.n {
+                return x;
+            }
+        }
+    }
+
+    /// One pass of the fixed Feistel permutation over `2^(2·half_bits)`.
+    fn permute(&self, x: u64) -> u64 {
+        let half = self.half_bits;
+        let mask = (1u64 << half) - 1;
+        let (mut l, mut r) = (x >> half, x & mask);
+        for key in [0x9E37_79B9u64, 0xBF58_476Du64, 0x94D0_49BBu64] {
+            let f = (r ^ key)
+                .wrapping_mul(0x2545_F491_4F6C_DD1D)
+                .rotate_right(21)
+                & mask;
+            let nl = r;
+            r = l ^ f;
+            l = nl;
+        }
+        (l << half) | r
     }
 }
 
@@ -100,12 +126,12 @@ mod tests {
         for _ in 0..100_000 {
             counts[z.sample(&mut rng) as usize] += 1;
         }
-        // The rank→key scatter is a hash, not a permutation, so a few keys
-        // merge; uniformity here means no key dominates and most keys hit.
+        // The rank→key scatter is a true permutation, so θ=0 should put
+        // ~1000 samples on every key.
         let max = *counts.iter().max().unwrap();
         let hit = counts.iter().filter(|&&c| c > 0).count();
-        assert!(max < 5_000, "max={max}");
-        assert!(hit > 55, "hit={hit}");
+        assert!(max < 2_000, "max={max}");
+        assert_eq!(hit, 100, "hit={hit}");
     }
 
     #[test]

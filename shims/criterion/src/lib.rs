@@ -1,0 +1,191 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the macro/type surface the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{throughput, sample_size, bench_function, finish}`,
+//! `Bencher::iter`, `Throughput`, `BenchmarkId`, `black_box` — backed by a
+//! simple wall-clock harness: each benchmark warms up briefly, then runs
+//! timed batches for a fixed budget and prints mean ns/iter (plus
+//! throughput when declared). No statistics, HTML reports, or comparison
+//! to saved baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Declared work per iteration, for derived throughput lines.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Bytes(u64),
+    Elements(u64),
+    BytesDecimal(u64),
+}
+
+/// A benchmark identifier (`group/function/parameter`).
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// Passed to the closure given to `bench_function`; `iter` times `f`.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration measured by the last `iter` call.
+    ns_per_iter: f64,
+}
+
+impl Bencher {
+    /// Times `f`: short warm-up, then batches until the time budget.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        let warmup = Duration::from_millis(30);
+        let budget = Duration::from_millis(200);
+        let start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while start.elapsed() < warmup {
+            black_box(f());
+            warm_iters += 1;
+        }
+        // Batch size targeting ~1ms per batch so Instant overhead vanishes.
+        let per_iter = warmup.as_nanos() as u64 / warm_iters.max(1);
+        let batch = (1_000_000 / per_iter.max(1)).clamp(1, 1 << 20);
+        let mut total_iters: u64 = 0;
+        let timed = Instant::now();
+        while timed.elapsed() < budget {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            total_iters += batch;
+        }
+        self.ns_per_iter = timed.elapsed().as_nanos() as f64 / total_iters.max(1) as f64;
+    }
+}
+
+fn report(label: &str, ns: f64, throughput: Option<Throughput>) {
+    let mut line = format!("{label:<40} {ns:>12.1} ns/iter");
+    match throughput {
+        Some(Throughput::Bytes(b)) | Some(Throughput::BytesDecimal(b)) => {
+            let gib = b as f64 / ns; // bytes per ns == GB/s
+            line.push_str(&format!("  {gib:>8.3} GB/s"));
+        }
+        Some(Throughput::Elements(e)) => {
+            let meps = e as f64 * 1e3 / ns; // elements per ns → M elems/s
+            line.push_str(&format!("  {meps:>8.3} M elems/s"));
+        }
+        None => {}
+    }
+    println!("{line}");
+}
+
+/// A named group of benchmarks sharing a throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Accepted for compatibility; the harness is time-budgeted instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for compatibility; the budget is fixed.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        report(
+            &format!("{}/{}", self.name, id.id),
+            b.ns_per_iter,
+            self.throughput,
+        );
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// The top-level harness handle.
+#[derive(Default)]
+pub struct Criterion;
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        mut f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        let mut b = Bencher { ns_per_iter: 0.0 };
+        f(&mut b);
+        report(&id.id, b.ns_per_iter, None);
+        self
+    }
+}
+
+/// Groups benchmark functions under one callable.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

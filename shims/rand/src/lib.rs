@@ -1,0 +1,188 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! The workspace cannot reach crates.io, so this crate supplies the small
+//! surface the code actually uses: `Rng::{gen, gen_range, gen_bool,
+//! fill_bytes}`, `SeedableRng::seed_from_u64`, and `rngs::StdRng`. The
+//! generator is SplitMix64 — deterministic, seedable, and statistically
+//! fine for workload generation and tests (it is *not* the real StdRng's
+//! ChaCha12, so absolute streams differ from upstream `rand`, which no
+//! test in this workspace depends on).
+
+use std::ops::Range;
+
+/// Sampling a value of `Self` from a stream of uniform `u64`s.
+pub trait FromRandom: Sized {
+    fn from_random(next: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! from_random_int {
+    ($($t:ty),*) => {$(
+        impl FromRandom for $t {
+            fn from_random(next: &mut dyn FnMut() -> u64) -> Self {
+                next() as $t
+            }
+        }
+    )*};
+}
+from_random_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl FromRandom for bool {
+    fn from_random(next: &mut dyn FnMut() -> u64) -> Self {
+        next() & 1 == 1
+    }
+}
+
+impl FromRandom for f64 {
+    fn from_random(next: &mut dyn FnMut() -> u64) -> Self {
+        // 53 random mantissa bits → uniform in [0, 1).
+        (next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl FromRandom for f32 {
+    fn from_random(next: &mut dyn FnMut() -> u64) -> Self {
+        (next() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Integer types usable with [`Rng::gen_range`].
+pub trait SampleUniform: Copy + PartialOrd {
+    fn sample_range(lo: Self, hi: Self, next: &mut dyn FnMut() -> u64) -> Self;
+}
+
+macro_rules! sample_uniform_int {
+    ($($t:ty => $wide:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_range(lo: Self, hi: Self, next: &mut dyn FnMut() -> u64) -> Self {
+                let span = (hi as $wide).wrapping_sub(lo as $wide) as u64;
+                debug_assert!(span > 0, "gen_range called with an empty range");
+                // Modulo bias is ≤ span/2^64: irrelevant at test scale.
+                let off = next() % span;
+                ((lo as $wide).wrapping_add(off as $wide)) as $t
+            }
+        }
+    )*};
+}
+sample_uniform_int!(
+    u8 => u64, u16 => u64, u32 => u64, u64 => u64, usize => u64,
+    i8 => i64, i16 => i64, i32 => i64, i64 => i64, isize => i64
+);
+
+impl SampleUniform for f64 {
+    fn sample_range(lo: Self, hi: Self, next: &mut dyn FnMut() -> u64) -> Self {
+        lo + f64::from_random(next) * (hi - lo)
+    }
+}
+
+/// The `rand::Rng` subset used by this workspace.
+pub trait Rng {
+    /// The raw 64-bit source every sampler draws from.
+    fn next_u64(&mut self) -> u64;
+
+    /// Samples a uniform value of `T`.
+    fn gen<T: FromRandom>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::from_random(&mut || self.next_u64())
+    }
+
+    /// Samples uniformly from a half-open range. Panics if empty.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T
+    where
+        Self: Sized,
+    {
+        assert!(range.start < range.end, "gen_range: empty range");
+        T::sample_range(range.start, range.end, &mut || self.next_u64())
+    }
+
+    /// Bernoulli draw with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+
+    /// Fills `dst` with random bytes.
+    fn fill_bytes(&mut self, dst: &mut [u8])
+    where
+        Self: Sized,
+    {
+        for chunk in dst.chunks_mut(8) {
+            let w = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&w[..chunk.len()]);
+        }
+    }
+}
+
+/// Construction of an RNG from seeds (`rand::SeedableRng` subset).
+pub trait SeedableRng: Sized {
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic standard RNG (SplitMix64 core).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let sa: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let sb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let sc: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(sa, sb);
+        assert_ne!(sa, sc);
+    }
+
+    #[test]
+    fn ranges_and_floats_in_bounds() {
+        let mut r = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+            let k = r.gen_range(10usize..20);
+            assert!((10..20).contains(&k));
+            let s = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_covers_tail() {
+        let mut r = StdRng::seed_from_u64(1);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}
