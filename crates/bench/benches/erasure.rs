@@ -2,7 +2,7 @@
 //! "Test Tpt" comparison, from first principles).
 
 use aceso_erasure::{xor_into, ReedSolomon, XCode};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 const CELL: usize = 256 << 10;
 

@@ -135,7 +135,8 @@ pub fn fig13(scale: BenchScale) -> FigureOutput {
         ..ClientTuning::default()
     };
     let full = ClientTuning::default();
-    let steps: Vec<(&str, Box<dyn Fn(Op) -> f64>)> = vec![
+    type Step<'a> = (&'a str, Box<dyn Fn(Op) -> f64>);
+    let steps: Vec<Step> = vec![
         (
             "ORIGIN",
             Box::new(move |op| fusee_variant(scale, false, op)),

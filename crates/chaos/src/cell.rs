@@ -281,6 +281,21 @@ mod tests {
         assert_eq!(ids.len(), m.len());
     }
 
+    /// Every client crash point is exercised by the matrix — the runtime
+    /// half of aceso-san's `lint_crash_points` (which checks the source
+    /// wiring): a new `CrashPoint` variant that never appears as an
+    /// injection site would silently escape the sweep.
+    #[test]
+    fn every_crash_point_is_a_matrix_site() {
+        let m = full_matrix();
+        for cp in aceso_core::client::CrashPoint::ALL {
+            assert!(
+                m.iter().any(|c| c.site == InjectionSite::Client(cp)),
+                "CrashPoint::{cp:?} missing from the crash matrix"
+            );
+        }
+    }
+
     #[test]
     fn ids_round_trip_through_parse() {
         for cell in full_matrix() {

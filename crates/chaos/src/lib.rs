@@ -10,25 +10,31 @@
 //! liveness, Index-Version monotonicity, parity-stripe consistency — see
 //! [`runner`]).
 //!
-//! The `chaos` binary exposes two modes:
+//! The `chaos` binary exposes three modes:
 //!
 //! * `chaos sweep [--ci]` — deterministic matrix sweep with a coverage
 //!   report and minimized counterexamples; `--ci` is the fixed-seed
 //!   sub-minute profile wired into tier-1 verification.
 //! * `chaos soak --seconds N` — seeded random schedules until a deadline.
+//! * `chaos analyze [--ci]` — reruns the sweep schedules and a
+//!   multi-client YCSB-A interleaving under the [`aceso_san`]
+//!   happens-before race detector, then runs the detector's mutation
+//!   self-tests and the static protocol lints (see [`analyze`]).
 //!
 //! Every schedule derives from one `u64` seed; the same seed replays the
 //! identical schedule.
 
+pub mod analyze;
 pub mod cell;
 pub mod runner;
 pub mod sweep;
 
+pub use analyze::{AnalyzeReport, CellTrace, YcsbTrace};
 pub use cell::{
     ci_matrix, full_matrix, injection_sites, kill_timings, Cell, InjectionSite, KillTiming,
     OpType, ReclaimState,
 };
-pub use runner::{chaos_config, run_cell, CellOutcome};
+pub use runner::{chaos_config, run_cell, run_cell_with_sink, CellOutcome};
 pub use sweep::{soak, sweep, Counterexample, SweepReport};
 
 /// Default master seed (sweep and soak) so bare CLI invocations are

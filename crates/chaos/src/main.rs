@@ -1,30 +1,37 @@
 //! `chaos` — crash-matrix sweeps and soak runs for the Aceso store.
 //!
 //! ```text
-//! chaos sweep [--ci] [--seed N] [--limit N] [--verbose]
-//! chaos soak  [--seed N] [--seconds N] [--verbose]
+//! chaos sweep   [--ci] [--seed N] [--limit N] [--verbose]
+//! chaos soak    [--seed N] [--seconds N] [--verbose]
+//! chaos analyze [--ci] [--seed N] [--limit N] [--verbose]
 //! ```
 //!
-//! Exits 0 when every explored cell held its invariants, 1 on any
-//! violation, 2 on usage errors.
+//! Exits 0 when every explored cell held its invariants (and, for
+//! `analyze`, the race detector stayed silent, every mutation self-test
+//! fired, and the protocol lints passed), 1 on any violation, 2 on usage
+//! errors.
 
 use aceso_chaos::{
-    ci_matrix, full_matrix, run_cell, soak, sweep, Cell, CellOutcome, SweepReport, CI_CELLS,
-    DEFAULT_SEED,
+    analyze, ci_matrix, full_matrix, run_cell, soak, sweep, Cell, CellOutcome, CellTrace,
+    SweepReport, CI_CELLS, DEFAULT_SEED,
 };
 use std::time::Duration;
 
 fn usage() -> ! {
     eprintln!(
-        "usage: chaos sweep [--ci] [--seed N] [--limit N] [--verbose]\n\
-                chaos soak  [--seed N] [--seconds N] [--verbose]\n\
+        "usage: chaos sweep   [--ci] [--seed N] [--limit N] [--verbose]\n\
+                chaos soak    [--seed N] [--seconds N] [--verbose]\n\
+                chaos analyze [--ci] [--seed N] [--limit N] [--verbose]\n\
                 chaos cell <op/site/kill/reclaim> [--seed N]\n\
          \n\
-         sweep   run the crash matrix (full 480 cells; --ci = deterministic\n\
-         \x20       {CI_CELLS}-cell profile) and print a coverage report\n\
-         soak    run seeded random cells until --seconds elapse\n\
-         cell    replay one cell by id (as printed in counterexamples)\n\
-         --seed  master seed (default {DEFAULT_SEED:#x}); same seed, same schedule"
+         sweep    run the crash matrix (full 480 cells; --ci = deterministic\n\
+         \x20        {CI_CELLS}-cell profile) and print a coverage report\n\
+         soak     run seeded random cells until --seconds elapse\n\
+         analyze  rerun the sweep schedules and a 4-client YCSB-A trace\n\
+         \x20        under the happens-before race detector, plus the\n\
+         \x20        detector self-tests and static protocol lints\n\
+         cell     replay one cell by id (as printed in counterexamples)\n\
+         --seed   master seed (default {DEFAULT_SEED:#x}); same seed, same schedule"
     );
     std::process::exit(2);
 }
@@ -107,6 +114,32 @@ fn main() {
         "soak" => {
             println!("chaos soak: {seconds}s, seed {seed:#x}");
             soak(seed, Duration::from_secs(seconds), progress(verbose))
+        }
+        "analyze" => {
+            let mut cells = if ci {
+                ci_matrix(seed, limit.unwrap_or(CI_CELLS))
+            } else {
+                full_matrix()
+            };
+            if let Some(l) = limit {
+                cells.truncate(l);
+            }
+            println!(
+                "chaos analyze: {} cells + 4-client YCSB-A, seed {seed:#x}",
+                cells.len()
+            );
+            let mut ran = 0usize;
+            let report = analyze::analyze(&cells, seed, |t: &CellTrace| {
+                ran += 1;
+                if verbose {
+                    let status = if t.ok() { "ok" } else { "FINDING" };
+                    println!("[{ran:>4}] {status:<9} {} ({} events)", t.cell, t.events);
+                } else if !t.ok() {
+                    println!("[{ran:>4}] FINDING {}", t.cell);
+                }
+            });
+            print!("{}", report.render());
+            std::process::exit(if report.clean() { 0 } else { 1 });
         }
         "cell" => {
             let Some(cell) = cell_id.as_deref().and_then(Cell::parse) else {

@@ -25,7 +25,7 @@ use aceso_core::{
     ClientTuning, StoreError,
 };
 use aceso_index::route_hash;
-use aceso_rdma::{FaultAction, FaultPlan, FaultRule, RdmaError};
+use aceso_rdma::{FaultAction, FaultPlan, FaultRule, RdmaError, TraceSink};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
@@ -76,6 +76,21 @@ impl CellOutcome {
 /// errors) are reported as violations too: a cell that cannot even set up
 /// is a finding, not a skip.
 pub fn run_cell(cell: &Cell, seed: u64) -> CellOutcome {
+    run_cell_with_sink(cell, seed, None)
+}
+
+/// [`run_cell`] with a [`TraceSink`] installed on the store's cluster for
+/// the duration of the cell, so a race detector observes every verb the
+/// schedule issues. The runner marks its phase boundaries (preload done,
+/// checkpoints done, crash quiesced, recovery done, pre-scrub) with
+/// [`aceso_rdma::Cluster::trace_barrier`] — the membership-service
+/// quiescence points Aceso's recovery protocol (§3.4) relies on. Barriers
+/// are no-ops when no sink is installed, so `run_cell` pays nothing.
+pub fn run_cell_with_sink(
+    cell: &Cell,
+    seed: u64,
+    sink: Option<Arc<dyn TraceSink>>,
+) -> CellOutcome {
     let start = Instant::now();
     let mut out = CellOutcome {
         cell: *cell,
@@ -86,7 +101,7 @@ pub fn run_cell(cell: &Cell, seed: u64) -> CellOutcome {
         client_crashed: false,
         duration_ms: 0,
     };
-    if let Err(e) = run_cell_inner(cell, seed, &mut out) {
+    if let Err(e) = run_cell_inner(cell, seed, &mut out, sink) {
         out.violations.push(format!("harness: {e}"));
     }
     out.duration_ms = start.elapsed().as_millis();
@@ -114,9 +129,17 @@ fn fmt_state(s: &Option<Vec<u8>>) -> String {
     }
 }
 
-fn run_cell_inner(cell: &Cell, seed: u64, out: &mut CellOutcome) -> Result<(), String> {
+fn run_cell_inner(
+    cell: &Cell,
+    seed: u64,
+    out: &mut CellOutcome,
+    sink: Option<Arc<dyn TraceSink>>,
+) -> Result<(), String> {
     let mut rng = StdRng::seed_from_u64(seed);
     let store = AcesoStore::launch(chaos_config()).map_err(|e| format!("launch: {e}"))?;
+    if let Some(s) = sink {
+        store.cluster.install_trace_sink(s);
+    }
     let n = store.cfg.num_mns;
 
     // The op client fails fast when a column dies so a blocked operation
@@ -170,12 +193,14 @@ fn run_cell_inner(cell: &Cell, seed: u64, out: &mut CellOutcome) -> Result<(), S
             preload(&mut client, &mut oracle, &mut rng, "aged", 12)?;
         }
     }
+    store.cluster.trace_barrier();
 
     // Two checkpoint rounds so every column has a restorable checkpoint
     // and a non-trivial Index Version to regress from.
     for _ in 0..2 {
         store.checkpoint_tick().map_err(|e| format!("ckpt: {e}"))?;
     }
+    store.cluster.trace_barrier();
     let iv_of = |store: &Arc<AcesoStore>, col: usize| {
         let s = store.server(col);
         s.index.local_index_version(&s.node.region)
@@ -212,6 +237,7 @@ fn run_cell_inner(cell: &Cell, seed: u64, out: &mut CellOutcome) -> Result<(), S
         }
         KillTiming::None | KillTiming::AtVerb { .. } => {}
     }
+    store.cluster.trace_barrier();
 
     let mut rules = Vec::new();
     if let InjectionSite::Verb { kind, skip } = cell.site {
@@ -242,7 +268,8 @@ fn run_cell_inner(cell: &Cell, seed: u64, out: &mut CellOutcome) -> Result<(), S
     let kill_planned = cell.kill != KillTiming::None;
 
     // The commit ambiguity window: (pre-op state, intended post-op state).
-    let mut ambiguous: Option<(Option<Vec<u8>>, Option<Vec<u8>>)> = None;
+    type Window = (Option<Vec<u8>>, Option<Vec<u8>>);
+    let mut ambiguous: Option<Window> = None;
     let mut crashed_at_point = false;
     let mut crashed_at_verb = false;
     let mut blocked = false;
@@ -316,13 +343,11 @@ fn run_cell_inner(cell: &Cell, seed: u64, out: &mut CellOutcome) -> Result<(), S
 
     let crashed = crashed_at_point || crashed_at_verb || blocked;
     out.client_crashed = crashed;
-    let kill_fired_at_verb = plan
-        .as_ref()
-        .map_or(false, |p| {
-            p.fired()
-                .iter()
-                .any(|f| f.action == FaultAction::KillNode)
-        });
+    let kill_fired_at_verb = plan.as_ref().is_some_and(|p| {
+        p.fired()
+            .iter()
+            .any(|f| f.action == FaultAction::KillNode)
+    });
     if kill_fired_at_verb {
         out.mn_killed = true;
     }
@@ -331,12 +356,16 @@ fn run_cell_inner(cell: &Cell, seed: u64, out: &mut CellOutcome) -> Result<(), S
         InjectionSite::Client(_) => crashed_at_point,
         InjectionSite::Verb { .. } => plan
             .as_ref()
-            .map_or(false, |p| p.fired().iter().any(|f| f.action == FaultAction::Fail)),
+            .is_some_and(|p| p.fired().iter().any(|f| f.action == FaultAction::Fail)),
     };
 
     // ---- Tiered recovery (§3.4: CN consistency first, then MN) -----------
+    // The crash is quiesced before recovery begins (the membership service
+    // fences the failed epoch), and recovery completes before the sweep:
+    // both are barrier edges in the verb trace.
     let cli_id = client.id();
     drop(client);
+    store.cluster.trace_barrier();
     if crashed {
         let mut revived = store.client_with_id(cli_id);
         recover_cn(&store, &mut revived).map_err(|e| format!("recover_cn: {e}"))?;
@@ -350,6 +379,7 @@ fn run_cell_inner(cell: &Cell, seed: u64, out: &mut CellOutcome) -> Result<(), S
         recover_mn_with(&store, home_col, true)
             .map_err(|e| format!("recover_mn(block tier): {e}"))?;
     }
+    store.cluster.trace_barrier();
 
     // ---- Invariants -------------------------------------------------------
     let mut sweep = store.client().map_err(|e| format!("sweep client: {e}"))?;
@@ -434,6 +464,7 @@ fn run_cell_inner(cell: &Cell, seed: u64, out: &mut CellOutcome) -> Result<(), S
     if let Err(e) = sweep.flush_bitmaps() {
         out.violations.push(format!("final flush: {e}"));
     }
+    store.cluster.trace_barrier();
     match scrub(&store) {
         Ok(r) if r.is_clean() => {}
         Ok(r) => out.violations.push(format!("scrub dirty: {r:?}")),

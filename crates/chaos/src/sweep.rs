@@ -113,8 +113,9 @@ impl SweepReport {
 }
 
 /// Per-cell seeds are drawn from one master stream so the whole schedule
-/// replays from a single number.
-fn cell_seeds(seed: u64, count: usize) -> Vec<u64> {
+/// replays from a single number. Shared with [`crate::analyze`] so
+/// `analyze` traces the very same schedules `sweep` runs.
+pub(crate) fn cell_seeds(seed: u64, count: usize) -> Vec<u64> {
     let mut rng = StdRng::seed_from_u64(seed);
     (0..count).map(|_| rng.next_u64()).collect()
 }

@@ -290,9 +290,9 @@ impl AcesoClient {
         if self.tuning.use_cache {
             if let Some(entry) = self.cache.get(key).copied() {
                 if self.tuning.cache_slot_addr {
-                    match self.search_via_cache(key, fp, entry)? {
-                        Some(found) => return Ok(found),
-                        None => {} // Fall through to a full query.
+                    // A `None` falls through to a full query.
+                    if let Some(found) = self.search_via_cache(key, fp, entry)? {
+                        return Ok(found);
                     }
                 } else if let Some(found) = self.search_value_cache(key, fp, entry)? {
                     return Ok(found);
@@ -746,6 +746,10 @@ impl AcesoClient {
             }
         } else if atomic.ver == 0xFF {
             // Version rollover: lock the Meta (Algorithm 1 lines 7–13).
+            // The lock/unlock CAS pair on the Meta word is an
+            // acquire/release bracket: every write between them is ordered
+            // against the next holder's accesses (aceso-san's
+            // skip-lock-cas self-test checks this edge stays load-bearing).
             let locked = SlotMeta {
                 len64: meta.len64,
                 epoch: meta.epoch + 1,
@@ -778,6 +782,12 @@ impl AcesoClient {
             addr48: place.packed,
             ver: new_ver,
         };
+        // Commit point (Algorithm 1 line 15). This CAS is the *release*
+        // edge that publishes the KV bytes written above: it must stay
+        // after `write_kv`, and readers must reach the KV only through the
+        // Atomic word it lands on (aceso-san derives happens-before from
+        // exactly this ordering — see the skip-commit-cas and
+        // commit-before-write self-tests).
         let prev = index.cas_atomic(&self.dm, slot_addr, atomic, new_atomic)?;
         let committed = prev == atomic;
         if committed {
@@ -819,6 +829,7 @@ impl AcesoClient {
         Ok(CommitOutcome::Done)
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn commit_insert(
         &mut self,
         index: &RemoteIndex,
@@ -837,6 +848,8 @@ impl AcesoClient {
             addr48: place.packed,
             ver: 1,
         };
+        // Commit point: the release edge publishing the freshly written KV
+        // (same ordering obligation as the update commit CAS above).
         let prev = index.cas_atomic(&self.dm, target, SlotAtomic::default(), new_atomic)?;
         if !prev.is_empty() {
             self.invalidate_kv(&place)?;

@@ -90,7 +90,10 @@ impl AcesoConfig {
     /// Panics on invalid geometry (non-prime group size, unaligned block
     /// size) — configurations are static programmer input.
     pub fn memory_map(&self) -> MemoryMap {
-        assert!(self.block_size % 64 == 0, "block size must be 64 B aligned");
+        assert!(
+            self.block_size.is_multiple_of(64),
+            "block size must be 64 B aligned"
+        );
         assert!(
             aceso_erasure::XCode::new(self.num_mns).is_ok(),
             "num_mns must be a prime ≥ 3 (X-Code geometry)"

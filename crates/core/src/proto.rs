@@ -179,10 +179,10 @@ impl ServerResp {
     pub fn expect_ok(self) -> crate::Result<()> {
         match self {
             ServerResp::Ok => Ok(()),
-            other => Err(crate::StoreError::Rdma(aceso_rdma::RdmaError::RpcClosed)).map_err(|e| {
+            other => {
                 debug_assert!(false, "unexpected rpc response: {other:?}");
-                e
-            }),
+                Err(crate::StoreError::Rdma(aceso_rdma::RdmaError::RpcClosed))
+            }
         }
     }
 }

@@ -557,8 +557,8 @@ fn reconstruct_failed_column(
     let mut net_ops = 0u64;
     let mut stripe: Vec<Vec<Option<Vec<u8>>>> = vec![vec![None; n]; n];
     let mut deltas: HashMap<(usize, usize), Vec<u8>> = HashMap::new();
-    for r in 0..n {
-        for c in 0..n {
+    for (r, stripe_row) in stripe.iter_mut().enumerate() {
+        for (c, stripe_cell) in stripe_row.iter_mut().enumerate() {
             if c == col {
                 continue; // The failed column: to be reconstructed.
             }
@@ -590,7 +590,7 @@ fn reconstruct_failed_column(
                     bytes = vec![0u8; bs];
                 }
             }
-            stripe[r][c] = Some(bytes);
+            *stripe_cell = Some(bytes);
         }
     }
     // Remember which cells were erased before decoding.

@@ -432,6 +432,7 @@ impl MnServer {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn handle_alloc_delta(
         &self,
         cli_id: u32,

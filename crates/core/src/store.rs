@@ -184,12 +184,11 @@ impl AcesoStore {
             if self.cluster.node(node).is_err() {
                 continue; // Crashed column: skipped until recovered.
             }
-            match self
-                .ctl
-                .rpc(node, &self.dir.rpc_of(col), ServerReq::CkptRound, 16)
+            if let Ok(ServerResp::CkptDone { report }) =
+                self.ctl
+                    .rpc(node, &self.dir.rpc_of(col), ServerReq::CkptRound, 16)
             {
-                Ok(ServerResp::CkptDone { report }) => reports.push(report),
-                Ok(_) | Err(_) => {}
+                reports.push(report);
             }
         }
         Ok(reports)

@@ -66,7 +66,7 @@ fn scrub_clean_after_reclamation() {
     }
     for round in 0..8u32 {
         for i in 0..500u32 {
-            c.update(format!("sr-{i}").as_bytes(), &vec![round as u8; 180])
+            c.update(format!("sr-{i}").as_bytes(), &[round as u8; 180])
                 .unwrap();
         }
         c.flush_bitmaps().unwrap();

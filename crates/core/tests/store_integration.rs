@@ -422,7 +422,7 @@ fn mn_recovery_after_reclamation_still_correct() {
     }
     for round in 0..10u32 {
         for i in 0..500u32 {
-            c.update(format!("rr-{i}").as_bytes(), &vec![round as u8 + 1; 180])
+            c.update(format!("rr-{i}").as_bytes(), &[round as u8 + 1; 180])
                 .unwrap();
         }
         c.flush_bitmaps().unwrap();

@@ -33,13 +33,16 @@ pub struct XCode {
     n: usize,
 }
 
+/// A stripe's two parity rows `(diagonal, anti-diagonal)`, each `n` cells.
+pub type ParityRows = (Vec<Vec<u8>>, Vec<Vec<u8>>);
+
 fn is_prime(n: usize) -> bool {
     if n < 2 {
         return false;
     }
     let mut d = 2;
     while d * d <= n {
-        if n % d == 0 {
+        if n.is_multiple_of(d) {
             return false;
         }
         d += 1;
@@ -128,7 +131,7 @@ impl XCode {
     /// `data[k][j]` is the cell at data row `k`, column `j`; all cells must
     /// share one length. Returns `(diagonal_row, anti_diagonal_row)`, each a
     /// vector of `n` cells.
-    pub fn encode(&self, data: &[Vec<Vec<u8>>]) -> Result<(Vec<Vec<u8>>, Vec<Vec<u8>>), CodeError> {
+    pub fn encode(&self, data: &[Vec<Vec<u8>>]) -> Result<ParityRows, CodeError> {
         let n = self.n;
         if data.len() != n - 2 || data.iter().any(|r| r.len() != n) {
             return Err(CodeError::BadGeometry(format!(
@@ -209,11 +212,8 @@ impl XCode {
             live.push(Live { rhs, unknowns });
         }
 
-        loop {
-            // Find an equation with exactly one unknown.
-            let Some(idx) = live.iter().position(|e| e.unknowns.len() == 1) else {
-                break;
-            };
+        // Peel: keep solving equations with exactly one unknown.
+        while let Some(idx) = live.iter().position(|e| e.unknowns.len() == 1) {
             let e = live.swap_remove(idx);
             let (r, c) = e.unknowns[0];
             let value = e.rhs;

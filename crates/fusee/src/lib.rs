@@ -512,7 +512,7 @@ mod tests {
         c.insert(b"replicated", b"payload").unwrap();
         let cols = s.replica_cols(b"replicated");
         assert_eq!(cols.len(), 3);
-        let cached = c.cache.get(&b"replicated"[..].to_vec()).copied().unwrap();
+        let cached = c.cache.get(&b"replicated"[..]).copied().unwrap();
         let mut copies = Vec::new();
         for &col in &cols {
             let node = s.cluster.node(aceso_rdma::NodeId(col as u16)).unwrap();
@@ -599,12 +599,12 @@ mod tests {
         let s = store();
         let mut c = s.client();
         c.insert(b"reuse-me!!", b"0123456789").unwrap();
-        let before = c.cache.get(&b"reuse-me!!"[..].to_vec()).copied().unwrap();
+        let before = c.cache.get(&b"reuse-me!!"[..]).copied().unwrap();
         c.update(b"reuse-me!!", b"9876543210").unwrap();
         // The first slot is on the free list; the next same-class write
         // overwrites it in place (no parity to maintain).
         c.insert(b"newcomer!!", b"aaaaaaaaaa").unwrap();
-        let after = c.cache.get(&b"newcomer!!"[..].to_vec()).copied().unwrap();
+        let after = c.cache.get(&b"newcomer!!"[..]).copied().unwrap();
         assert_eq!(before.offset, after.offset);
     }
 }

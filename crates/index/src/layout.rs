@@ -105,6 +105,50 @@ impl IndexLayout {
         let in_group = rel % GROUP_BYTES;
         Some((g, in_group / SLOT_BYTES))
     }
+
+    /// Classifies the 8-byte word containing `offset` for the sanitizer's
+    /// happens-before model (see `aceso-san`): slot Atomic words are the
+    /// commit/release points of Algorithm 1, slot Meta words carry the
+    /// epoch lock acquired with `cas_meta`, and the Index Version word is
+    /// FAA'd by checkpointing.
+    pub fn classify_word(&self, offset: u64) -> IndexWord {
+        if offset / 8 == self.index_version_offset() / 8 {
+            return IndexWord::IndexVersion;
+        }
+        let Some((group, slot)) = self.locate_slot(offset) else {
+            return IndexWord::OutsideIndex;
+        };
+        let in_slot = (offset - self.base) % SLOT_BYTES;
+        if in_slot < 8 {
+            IndexWord::Atomic { group, slot }
+        } else {
+            IndexWord::Meta { group, slot }
+        }
+    }
+}
+
+/// Happens-before role of an 8-byte word in the index area (detector
+/// metadata; see [`IndexLayout::classify_word`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndexWord {
+    /// A slot's Atomic word: CAS here is the commit point (release edge).
+    Atomic {
+        /// Bucket group of the slot.
+        group: u64,
+        /// Slot index within the group (0..24).
+        slot: u64,
+    },
+    /// A slot's Meta word: holds the epoch lock taken with `cas_meta`.
+    Meta {
+        /// Bucket group of the slot.
+        group: u64,
+        /// Slot index within the group (0..24).
+        slot: u64,
+    },
+    /// The trailing Index Version word (checkpoint FAA ordering).
+    IndexVersion,
+    /// Not inside this partition's index area.
+    OutsideIndex,
 }
 
 #[cfg(test)]
@@ -166,5 +210,28 @@ mod tests {
         }
         assert!(l.locate_slot(0).is_none());
         assert!(l.locate_slot(l.index_version_offset()).is_none());
+    }
+
+    #[test]
+    fn classify_word_roles() {
+        let l = IndexLayout::new(128, 5);
+        let slot = l.slot_offset(3, 1, 4);
+        assert_eq!(
+            l.classify_word(slot),
+            IndexWord::Atomic { group: 3, slot: 12 }
+        );
+        assert_eq!(
+            l.classify_word(slot + 8),
+            IndexWord::Meta { group: 3, slot: 12 }
+        );
+        assert_eq!(
+            l.classify_word(l.index_version_offset()),
+            IndexWord::IndexVersion
+        );
+        assert_eq!(l.classify_word(0), IndexWord::OutsideIndex);
+        assert_eq!(
+            l.classify_word(l.index_version_offset() + 8),
+            IndexWord::OutsideIndex
+        );
     }
 }

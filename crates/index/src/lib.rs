@@ -27,6 +27,6 @@ pub mod remote;
 pub mod slot;
 
 pub use hash::{fingerprint, hash_pair, route_hash};
-pub use layout::IndexLayout;
+pub use layout::{IndexLayout, IndexWord};
 pub use remote::{RemoteIndex, SlotRef};
 pub use slot::{SlotAtomic, SlotMeta, SLOT_BYTES};

@@ -112,7 +112,7 @@ mod tests {
     fn meta_roundtrip() {
         let m = SlotMeta {
             len64: 16,
-            epoch: 0x00AB_CDEF_0123_45,
+            epoch: 0x00_ABCD_EF01_2345,
         };
         assert_eq!(SlotMeta::decode(m.encode()), m);
     }

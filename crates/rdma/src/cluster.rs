@@ -7,9 +7,10 @@ use crate::fault::FaultPlan;
 use crate::master::Master;
 use crate::region::Region;
 use crate::stats::VerbCounters;
+use crate::trace::{TraceEvent, TraceOp, TraceSink};
 use crate::verbs::DmClient;
 use parking_lot::{Mutex, RwLock};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 
 /// A memory node (MN): one registered region behind one simulated RNIC.
@@ -102,6 +103,14 @@ pub struct Cluster {
     pub master: Arc<Master>,
     /// The NIC cost model shared by all performance reports.
     pub cost: CostModel,
+    /// Installed verb-trace sink, if any (see [`crate::TraceSink`]).
+    trace: RwLock<Option<Arc<dyn TraceSink>>>,
+    /// Fast-path flag mirroring `trace.is_some()`; verbs check this single
+    /// relaxed load before touching the sink lock, so tracing is free when
+    /// disabled.
+    trace_on: AtomicBool,
+    /// Next dense trace client id handed to a new [`DmClient`].
+    next_trace_client: AtomicU32,
 }
 
 impl Cluster {
@@ -118,7 +127,61 @@ impl Cluster {
             nodes: RwLock::new(nodes),
             master,
             cost: config.cost,
+            trace: RwLock::new(None),
+            trace_on: AtomicBool::new(false),
+            next_trace_client: AtomicU32::new(0),
         })
+    }
+
+    /// Installs a verb-trace sink observing every memory-effective verb from
+    /// every client of this cluster (see [`crate::TraceSink`]).
+    pub fn install_trace_sink(&self, sink: Arc<dyn TraceSink>) {
+        *self.trace.write() = Some(sink);
+        self.trace_on.store(true, Ordering::Release);
+    }
+
+    /// Removes the trace sink, if any. In-flight verbs may still deliver a
+    /// final event to the old sink.
+    pub fn clear_trace_sink(&self) {
+        self.trace_on.store(false, Ordering::Release);
+        *self.trace.write() = None;
+    }
+
+    /// Whether a trace sink is installed (single relaxed load; the verb
+    /// fast path).
+    #[inline]
+    pub fn trace_enabled(&self) -> bool {
+        self.trace_on.load(Ordering::Relaxed)
+    }
+
+    /// The installed trace sink, if any.
+    pub fn trace_sink(&self) -> Option<Arc<dyn TraceSink>> {
+        if !self.trace_enabled() {
+            return None;
+        }
+        self.trace.read().clone()
+    }
+
+    /// Emits a [`crate::TraceOp::Barrier`] event: the harness asserts that
+    /// everything traced so far happens-before everything traced after
+    /// (recovery hand-offs, test phase boundaries). No-op when tracing is
+    /// disabled, so runners may call it unconditionally.
+    pub fn trace_barrier(&self) {
+        if let Some(sink) = self.trace_sink() {
+            sink.record(TraceEvent {
+                client: TraceEvent::BARRIER_CLIENT,
+                seq: 0,
+                node: NodeId(0),
+                op: TraceOp::Barrier,
+                offset: 0,
+                len: 0,
+            });
+        }
+    }
+
+    /// Allocates the next dense trace client id (one per [`DmClient`]).
+    pub(crate) fn next_trace_client(&self) -> u32 {
+        self.next_trace_client.fetch_add(1, Ordering::Relaxed)
     }
 
     /// Returns the node handle for `id`, whether alive or crashed.

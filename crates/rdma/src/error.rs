@@ -30,6 +30,18 @@ pub enum RdmaError {
     },
     /// An atomic verb was issued on a non-8-byte-aligned address.
     Unaligned(u64),
+    /// A CAS/FAA targeted a misaligned or out-of-region word. Caught at the
+    /// verb layer before the memory is touched: a real RNIC would complete
+    /// such an atomic with undefined semantics, so the simulation fails it
+    /// loudly instead (see `aceso-san`'s alignment lints).
+    Misaligned {
+        /// The offending verb's class.
+        verb: VerbKind,
+        /// The verb's target node.
+        node: NodeId,
+        /// The misaligned byte offset.
+        offset: u64,
+    },
     /// The RPC server side has shut down.
     RpcClosed,
     /// The RPC call timed out (used by lease/membership machinery).
@@ -60,6 +72,9 @@ impl fmt::Display for RdmaError {
                 "access [{offset:#x}, +{len}) out of bounds on {node} (region {region} bytes)"
             ),
             RdmaError::Unaligned(off) => write!(f, "atomic verb on unaligned offset {off:#x}"),
+            RdmaError::Misaligned { verb, node, offset } => {
+                write!(f, "{verb} on {node} targets misaligned word {offset:#x}")
+            }
             RdmaError::RpcClosed => write!(f, "rpc endpoint closed"),
             RdmaError::RpcTimeout => write!(f, "rpc timed out"),
             RdmaError::Injected { verb, node } => {

@@ -32,6 +32,7 @@ pub mod master;
 pub mod region;
 pub mod rpc;
 pub mod stats;
+pub mod trace;
 pub mod verbs;
 
 pub use addr::{GlobalAddr, NodeId};
@@ -44,4 +45,5 @@ pub use region::Region;
 pub use rpc::rpc_channel;
 pub use rpc::{Responder, RpcClient, RpcServer};
 pub use stats::{OpKind, OpRecord, OpStats, VerbCounters};
+pub use trace::{TraceEvent, TraceOp, TraceSink, VecSink};
 pub use verbs::{DmClient, WriteBatch};

@@ -120,7 +120,7 @@ impl Region {
     /// Returns the value observed before the operation; the swap succeeded
     /// iff the returned value equals `expected`, exactly like `RDMA_CAS`.
     pub fn cas64(&self, offset: u64, expected: u64, new: u64) -> Result<u64> {
-        if offset % 8 != 0 {
+        if !offset.is_multiple_of(8) {
             return Err(RdmaError::Unaligned(offset));
         }
         let off = self.check(offset, 8)?;
@@ -139,7 +139,7 @@ impl Region {
     ///
     /// Returns the pre-add value, like `RDMA_FAA`.
     pub fn faa64(&self, offset: u64, delta: u64) -> Result<u64> {
-        if offset % 8 != 0 {
+        if !offset.is_multiple_of(8) {
             return Err(RdmaError::Unaligned(offset));
         }
         let off = self.check(offset, 8)?;
@@ -148,7 +148,7 @@ impl Region {
 
     /// Atomically loads the 8-byte word at `offset`.
     pub fn load64(&self, offset: u64) -> Result<u64> {
-        if offset % 8 != 0 {
+        if !offset.is_multiple_of(8) {
             return Err(RdmaError::Unaligned(offset));
         }
         let off = self.check(offset, 8)?;
@@ -157,7 +157,7 @@ impl Region {
 
     /// Atomically stores the 8-byte word at `offset`.
     pub fn store64(&self, offset: u64, value: u64) -> Result<()> {
-        if offset % 8 != 0 {
+        if !offset.is_multiple_of(8) {
             return Err(RdmaError::Unaligned(offset));
         }
         let off = self.check(offset, 8)?;
@@ -179,7 +179,7 @@ impl Region {
         let mut pos = 0usize;
         while pos < len {
             let byte = off + pos;
-            if byte % 8 == 0 && len - pos >= 8 {
+            if byte.is_multiple_of(8) && len - pos >= 8 {
                 self.words[byte / 8].store(0, Ordering::Release);
                 pos += 8;
             } else {

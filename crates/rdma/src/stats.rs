@@ -285,4 +285,154 @@ mod tests {
         assert_eq!(s.avg_cas(OpKind::Search), 0.0);
         assert_eq!(s.avg_cas(OpKind::Delete), 0.0);
     }
+
+    // The cost model sums per-node counters across concurrent clients; these
+    // tests pin down that accounting under real thread interleavings.
+    mod concurrent {
+        use super::*;
+        use crate::addr::{GlobalAddr, NodeId};
+        use crate::cluster::{Cluster, ClusterConfig};
+        use crate::cost::CostModel;
+        use std::sync::Arc;
+
+        const CLIENTS: usize = 4;
+        const ROUNDS: u64 = 50;
+
+        fn cluster() -> Arc<Cluster> {
+            Cluster::new(ClusterConfig {
+                num_mns: 2,
+                region_len: 1 << 16,
+                cost: CostModel::default(),
+            })
+        }
+
+        /// Node counters equal the sum of the per-client counters, verb by
+        /// verb and byte by byte, when clients hammer both nodes in parallel.
+        #[test]
+        fn node_counters_sum_client_counters() {
+            let c = cluster();
+            let totals: Vec<VerbSnapshot> = std::thread::scope(|s| {
+                let handles: Vec<_> = (0..CLIENTS)
+                    .map(|i| {
+                        let c = Arc::clone(&c);
+                        s.spawn(move || {
+                            let cl = c.client();
+                            // Each client gets a private 512-byte lane so the
+                            // verbs are conflict-free data races aside.
+                            let lane = (i as u64) * 512;
+                            for n in 0..2u16 {
+                                let base = GlobalAddr::new(NodeId(n), lane);
+                                for r in 0..ROUNDS {
+                                    cl.write(base, &[r as u8; 32]).unwrap();
+                                    let _ = cl.read_vec(base, 32).unwrap();
+                                    let _ = cl.faa(base.add(64), 1).unwrap();
+                                    let _ = cl.cas(base.add(72), r, r + 1).unwrap();
+                                }
+                            }
+                            cl.counters().snapshot()
+                        })
+                    })
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).collect()
+            });
+
+            let per_client_total = totals
+                .iter()
+                .fold(VerbSnapshot::default(), |acc, s| acc.plus(s));
+            let node_total = c
+                .nodes()
+                .iter()
+                .fold(VerbSnapshot::default(), |acc, n| {
+                    acc.plus(&n.traffic.snapshot())
+                });
+            assert_eq!(per_client_total, node_total);
+            // And the absolute numbers are what the loop issued.
+            let verbs_per_client = 2 * ROUNDS; // writes per node
+            assert_eq!(node_total.writes, CLIENTS as u64 * verbs_per_client);
+            assert_eq!(node_total.reads, CLIENTS as u64 * verbs_per_client);
+            assert_eq!(node_total.faa, CLIENTS as u64 * verbs_per_client);
+            assert_eq!(node_total.cas, CLIENTS as u64 * verbs_per_client);
+            assert_eq!(
+                node_total.write_bytes,
+                CLIENTS as u64 * verbs_per_client * (32 + 8 + 8)
+            );
+            assert_eq!(
+                node_total.read_bytes,
+                CLIENTS as u64 * verbs_per_client * (32 + 8 + 8)
+            );
+        }
+
+        /// Per-operation profiles (round trips = dependency depth, batched
+        /// verbs share one RTT) stay exact per client under concurrency.
+        #[test]
+        fn op_profiles_stay_per_client_under_concurrency() {
+            let c = cluster();
+            std::thread::scope(|s| {
+                for i in 0..CLIENTS {
+                    let c = Arc::clone(&c);
+                    s.spawn(move || {
+                        let cl = c.client();
+                        let base = GlobalAddr::new(NodeId(0), (i as u64) * 512);
+                        for _ in 0..ROUNDS {
+                            cl.begin_op();
+                            // One doorbell batch (1 RTT) + one dependent CAS
+                            // (1 RTT): dependency depth 2.
+                            cl.batch(|cl| {
+                                cl.write(base, &[1u8; 64]).unwrap();
+                                cl.write(base.add(64), &[2u8; 64]).unwrap();
+                            });
+                            let _ = cl.cas(base.add(128), 0, 1).unwrap();
+                            cl.end_op(OpKind::Update);
+                        }
+                        let ops = cl.take_ops();
+                        assert_eq!(ops.records.len(), ROUNDS as usize);
+                        for r in &ops.records {
+                            assert_eq!(r.rtts, 2, "batch + dependent CAS");
+                            assert_eq!(r.verbs, 3);
+                            assert_eq!(r.cas, 1);
+                            assert_eq!(r.write_bytes, 64 + 64 + 8);
+                        }
+                        assert!((ops.avg_cas(OpKind::Update) - 1.0).abs() < 1e-9);
+                    });
+                }
+            });
+        }
+
+        /// Background clients never leak into foreground counters (and vice
+        /// versa) even when both hit the same node concurrently.
+        #[test]
+        fn foreground_background_split_is_exact() {
+            let c = cluster();
+            std::thread::scope(|s| {
+                let fg = {
+                    let c = Arc::clone(&c);
+                    s.spawn(move || {
+                        let cl = c.client();
+                        for r in 0..ROUNDS {
+                            cl.write(GlobalAddr::new(NodeId(0), 0), &[r as u8; 16])
+                                .unwrap();
+                        }
+                    })
+                };
+                let bg = {
+                    let c = Arc::clone(&c);
+                    s.spawn(move || {
+                        let cl = c.background_client();
+                        for _ in 0..ROUNDS {
+                            let _ = cl.read_vec(GlobalAddr::new(NodeId(0), 1024), 256).unwrap();
+                        }
+                    })
+                };
+                fg.join().unwrap();
+                bg.join().unwrap();
+            });
+            let node = c.node(NodeId(0)).unwrap();
+            let t = node.traffic.snapshot();
+            let b = node.background.snapshot();
+            assert_eq!((t.writes, t.reads), (ROUNDS, 0));
+            assert_eq!((b.writes, b.reads), (0, ROUNDS));
+            assert_eq!(t.write_bytes, ROUNDS * 16);
+            assert_eq!(b.read_bytes, ROUNDS * 256);
+        }
+    }
 }

@@ -1,0 +1,123 @@
+//! Verb tracing: the sanitizer's tap into the fabric.
+//!
+//! A [`TraceSink`] installed on a [`crate::Cluster`] observes every verb
+//! that *reached memory*: reads, writes, atomics (with their outcome), and
+//! RPCs. Verbs that fail before touching the region — dead node, injected
+//! fault, bad address — are never traced, so the stream is exactly the set
+//! of accesses a remote NIC would have executed.
+//!
+//! Recording is zero-cost when disabled: the hot path is a single relaxed
+//! atomic load on the cluster (see [`crate::Cluster::trace_enabled`]).
+//!
+//! Events carry a *trace client id*: a dense integer assigned to each
+//! [`crate::DmClient`] at creation, standing in for the thread id of a
+//! happens-before model (one `DmClient` = one logical thread of execution).
+//! `seq` is a per-client sequence number, so `(client, seq)` names an event
+//! uniquely and per-client program order is reconstructible from any
+//! interleaving.
+
+use crate::addr::NodeId;
+use core::fmt;
+
+/// What a traced verb did to remote memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TraceOp {
+    /// `RDMA_READ` (including 8-byte atomic loads).
+    Read,
+    /// `RDMA_WRITE` / inline write.
+    Write,
+    /// `RDMA_CAS`; `success` is whether the swap landed.
+    Cas {
+        /// Whether the observed value equalled `expected` (swap landed).
+        success: bool,
+    },
+    /// `RDMA_FAA` (always succeeds).
+    Faa,
+    /// Two-sided RPC to the server thread on the target node.
+    Rpc,
+    /// A synchronization barrier emitted by the harness (recovery and test
+    /// phase boundaries): everything traced before it happens-before
+    /// everything traced after it.
+    Barrier,
+}
+
+impl fmt::Display for TraceOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceOp::Read => write!(f, "READ"),
+            TraceOp::Write => write!(f, "WRITE"),
+            TraceOp::Cas { success: true } => write!(f, "CAS(ok)"),
+            TraceOp::Cas { success: false } => write!(f, "CAS(fail)"),
+            TraceOp::Faa => write!(f, "FAA"),
+            TraceOp::Rpc => write!(f, "RPC"),
+            TraceOp::Barrier => write!(f, "BARRIER"),
+        }
+    }
+}
+
+/// One fabric event, as delivered to a [`TraceSink`].
+#[derive(Clone, Copy, Debug)]
+pub struct TraceEvent {
+    /// Trace id of the issuing client ([`TraceEvent::BARRIER_CLIENT`] for
+    /// harness barriers, which no client issues).
+    pub client: u32,
+    /// Per-client sequence number (0-based, no gaps).
+    pub seq: u64,
+    /// Target node.
+    pub node: NodeId,
+    /// Verb class and outcome.
+    pub op: TraceOp,
+    /// Byte offset of the access in the node's region (0 for RPC/Barrier).
+    pub offset: u64,
+    /// Access length in bytes (RPC: request payload bytes; Barrier: 0).
+    pub len: usize,
+}
+
+impl TraceEvent {
+    /// Synthetic client id used by [`TraceOp::Barrier`] events.
+    pub const BARRIER_CLIENT: u32 = u32::MAX;
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "c{}#{} {} {}@[{:#x}, +{})",
+            self.client, self.seq, self.op, self.node, self.offset, self.len
+        )
+    }
+}
+
+/// Receiver of the fabric's verb stream.
+///
+/// Implementations must be cheap and non-blocking relative to the workload
+/// (they run inline on the verb path) and must tolerate concurrent calls
+/// from multiple clients.
+pub trait TraceSink: Send + Sync {
+    /// Delivers one event. Called after the verb's memory effect landed.
+    fn record(&self, ev: TraceEvent);
+}
+
+/// A sink that buffers every event (tests and trace dumps).
+#[derive(Default)]
+pub struct VecSink {
+    events: parking_lot::Mutex<Vec<TraceEvent>>,
+}
+
+impl VecSink {
+    /// An empty buffer sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Takes the buffered events, leaving the sink empty.
+    pub fn take(&self) -> Vec<TraceEvent> {
+        std::mem::take(&mut *self.events.lock())
+    }
+}
+
+impl TraceSink for VecSink {
+    fn record(&self, ev: TraceEvent) {
+        self.events.lock().push(ev);
+    }
+}

@@ -22,8 +22,9 @@ use crate::error::{RdmaError, Result};
 use crate::fault::{FaultAction, FaultPlan, FaultSite, VerbKind};
 use crate::rpc::RpcClient;
 use crate::stats::{OpKind, OpRecord, OpStats, VerbCounters};
+use crate::trace::{TraceEvent, TraceOp};
 use parking_lot::Mutex;
-use std::sync::atomic::Ordering;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 #[derive(Default)]
@@ -63,10 +64,15 @@ pub struct DmClient {
     ops: Mutex<OpStats>,
     cur: Mutex<CurOp>,
     fault: Mutex<Option<Arc<FaultPlan>>>,
+    /// Dense per-cluster id identifying this client in verb traces.
+    trace_id: u32,
+    /// Per-client event sequence number for the trace stream.
+    trace_seq: AtomicU64,
 }
 
 impl DmClient {
     pub(crate) fn new(cluster: Arc<Cluster>, background: bool) -> Self {
+        let trace_id = cluster.next_trace_client();
         DmClient {
             cluster,
             background,
@@ -74,7 +80,54 @@ impl DmClient {
             ops: Mutex::new(OpStats::new()),
             cur: Mutex::new(CurOp::default()),
             fault: Mutex::new(None),
+            trace_id,
+            trace_seq: AtomicU64::new(0),
         }
+    }
+
+    /// This client's id in verb traces (see [`crate::TraceEvent`]).
+    pub fn trace_id(&self) -> u32 {
+        self.trace_id
+    }
+
+    /// Delivers one event to the cluster's trace sink, if installed. Called
+    /// only after the verb's memory effect landed, so the trace is exactly
+    /// the set of accesses a remote NIC executed.
+    #[inline]
+    fn trace(&self, node: NodeId, op: TraceOp, offset: u64, len: usize) {
+        if !self.cluster.trace_enabled() {
+            return;
+        }
+        if let Some(sink) = self.cluster.trace_sink() {
+            let seq = self.trace_seq.fetch_add(1, Ordering::Relaxed);
+            sink.record(TraceEvent {
+                client: self.trace_id,
+                seq,
+                node,
+                op,
+                offset,
+                len,
+            });
+        }
+    }
+
+    /// Rejects CAS/FAA targets that a real RNIC would corrupt silently:
+    /// the word must be 8-byte aligned and entirely inside the region.
+    /// Checked unconditionally (the typed error *is* the assertion) so the
+    /// protocol lints in `aceso-san` can exercise the failure path.
+    fn check_atomic_target(&self, node: &MemoryNode, kind: VerbKind, offset: u64) -> Result<()> {
+        let aligned = offset.is_multiple_of(8);
+        let in_region = offset
+            .checked_add(8)
+            .is_some_and(|end| end as usize <= node.region.len());
+        if !aligned || !in_region {
+            return Err(RdmaError::Misaligned {
+                verb: kind,
+                node: node.id,
+                offset,
+            });
+        }
+        Ok(())
     }
 
     /// Installs a fault plan intercepting every verb this client issues.
@@ -171,6 +224,7 @@ impl DmClient {
         let kill = self.intercept(&node, VerbKind::Read, addr.offset, dst.len())?;
         node.region.read(addr.offset, dst)?;
         self.account(&node, VerbClass::Read, dst.len(), 0);
+        self.trace(node.id, TraceOp::Read, addr.offset, dst.len());
         self.kill_after(&node, kill);
         Ok(())
     }
@@ -188,6 +242,7 @@ impl DmClient {
         let kill = self.intercept(&node, VerbKind::Read, addr.offset, 8)?;
         let v = node.region.load64(addr.offset)?;
         self.account(&node, VerbClass::Read, 8, 0);
+        self.trace(node.id, TraceOp::Read, addr.offset, 8);
         self.kill_after(&node, kill);
         Ok(v)
     }
@@ -198,6 +253,7 @@ impl DmClient {
         let kill = self.intercept(&node, VerbKind::Write, addr.offset, src.len())?;
         node.region.write(addr.offset, src)?;
         self.account(&node, VerbClass::Write, 0, src.len());
+        self.trace(node.id, TraceOp::Write, addr.offset, src.len());
         self.kill_after(&node, kill);
         Ok(())
     }
@@ -216,9 +272,18 @@ impl DmClient {
     /// iff it equals `expected`.
     pub fn cas(&self, addr: GlobalAddr, expected: u64, new: u64) -> Result<u64> {
         let node = self.node(addr.node)?;
+        self.check_atomic_target(&node, VerbKind::Cas, addr.offset)?;
         let kill = self.intercept(&node, VerbKind::Cas, addr.offset, 8)?;
         let prev = node.region.cas64(addr.offset, expected, new)?;
         self.account(&node, VerbClass::Cas, 8, 8);
+        self.trace(
+            node.id,
+            TraceOp::Cas {
+                success: prev == expected,
+            },
+            addr.offset,
+            8,
+        );
         self.kill_after(&node, kill);
         Ok(prev)
     }
@@ -226,9 +291,11 @@ impl DmClient {
     /// `RDMA_FAA` on the 8-byte word at `addr`; returns the pre-add value.
     pub fn faa(&self, addr: GlobalAddr, delta: u64) -> Result<u64> {
         let node = self.node(addr.node)?;
+        self.check_atomic_target(&node, VerbKind::Faa, addr.offset)?;
         let kill = self.intercept(&node, VerbKind::Faa, addr.offset, 8)?;
         let prev = node.region.faa64(addr.offset, delta)?;
         self.account(&node, VerbClass::Faa, 8, 8);
+        self.trace(node.id, TraceOp::Faa, addr.offset, 8);
         self.kill_after(&node, kill);
         Ok(prev)
     }
@@ -276,6 +343,7 @@ impl DmClient {
         let node = self.node(node_id)?;
         let kill = self.intercept(&node, VerbKind::Rpc, 0, req_bytes)?;
         let resp = rpc.call(req)?;
+        self.trace(node.id, TraceOp::Rpc, 0, req_bytes);
         self.kill_after(&node, kill);
         let node_ctr = if self.background {
             &node.background
@@ -310,6 +378,7 @@ impl DmClient {
         let node = self.node(node_id)?;
         let kill = self.intercept(&node, VerbKind::Rpc, 0, req_bytes)?;
         rpc.cast(req)?;
+        self.trace(node.id, TraceOp::Rpc, 0, req_bytes);
         self.kill_after(&node, kill);
         let node_ctr = if self.background {
             &node.background
@@ -539,5 +608,98 @@ mod tests {
         let cl = c.client();
         cl.end_op(OpKind::Search);
         assert!(cl.take_ops().records.is_empty());
+    }
+
+    #[test]
+    fn misaligned_atomics_rejected_before_memory() {
+        let c = cluster();
+        let cl = c.client();
+        let odd = GlobalAddr::new(NodeId(0), 12);
+        assert_eq!(
+            cl.cas(odd, 0, 1),
+            Err(RdmaError::Misaligned {
+                verb: VerbKind::Cas,
+                node: NodeId(0),
+                offset: 12
+            })
+        );
+        // The trailing word of the region is fine; one past it is not.
+        let end = GlobalAddr::new(NodeId(0), (1 << 16) - 8);
+        assert!(cl.faa(end, 1).is_ok());
+        assert_eq!(
+            cl.faa(end.add(8), 1),
+            Err(RdmaError::Misaligned {
+                verb: VerbKind::Faa,
+                node: NodeId(0),
+                offset: 1 << 16
+            })
+        );
+        // Rejected verbs are not accounted (they never reached the NIC).
+        assert_eq!(cl.counters().snapshot().faa, 1);
+        assert_eq!(cl.counters().snapshot().cas, 0);
+    }
+
+    #[test]
+    fn trace_sink_sees_memory_effective_verbs_only() {
+        use crate::trace::{TraceOp, VecSink};
+        let c = cluster();
+        let sink = Arc::new(VecSink::new());
+        let cl = c.client();
+        // Issued before install: not traced.
+        cl.write(GlobalAddr::new(NodeId(0), 0), &[1u8; 8]).unwrap();
+        c.install_trace_sink(sink.clone());
+
+        let a = GlobalAddr::new(NodeId(0), 64);
+        cl.write(a, &[2u8; 16]).unwrap();
+        let _ = cl.read_vec(a, 16).unwrap();
+        let _ = cl.read_u64(a).unwrap();
+        assert_eq!(cl.cas(GlobalAddr::new(NodeId(0), 128), 0, 7), Ok(0));
+        let _ = cl.faa(GlobalAddr::new(NodeId(0), 8), 1).unwrap();
+        // A failing verb never reaches memory and is never traced.
+        assert!(cl.cas(GlobalAddr::new(NodeId(0), 3), 0, 1).is_err());
+        c.trace_barrier();
+        c.clear_trace_sink();
+        cl.write(a, &[3u8; 8]).unwrap(); // after clear: not traced
+
+        let evs = sink.take();
+        let ops: Vec<TraceOp> = evs.iter().map(|e| e.op).collect();
+        assert_eq!(evs.len(), 6);
+        assert!(matches!(ops[0], TraceOp::Write));
+        assert!(matches!(ops[1], TraceOp::Read));
+        assert!(matches!(ops[2], TraceOp::Read));
+        assert!(matches!(ops[3], TraceOp::Cas { .. }));
+        assert!(matches!(ops[4], TraceOp::Faa));
+        assert!(matches!(ops[5], TraceOp::Barrier));
+        // Same client, strictly increasing seq, correct address metadata.
+        assert!(evs[..5].iter().all(|e| e.client == cl.trace_id()));
+        assert!(evs[..5]
+            .windows(2)
+            .all(|w| w[1].seq == w[0].seq + 1));
+        assert_eq!(evs[0].offset, 64);
+        assert_eq!(evs[0].len, 16);
+        assert_eq!(evs[5].client, crate::trace::TraceEvent::BARRIER_CLIENT);
+    }
+
+    #[test]
+    fn cas_trace_records_outcome() {
+        use crate::trace::{TraceOp, VecSink};
+        let c = cluster();
+        let sink = Arc::new(VecSink::new());
+        c.install_trace_sink(sink.clone());
+        let cl = c.client();
+        let a = GlobalAddr::new(NodeId(0), 0);
+        assert_eq!(cl.cas(a, 0, 5), Ok(0)); // lands
+        assert_eq!(cl.cas(a, 0, 6), Ok(5)); // loses
+        let evs = sink.take();
+        assert_eq!(evs[0].op, TraceOp::Cas { success: true });
+        assert_eq!(evs[1].op, TraceOp::Cas { success: false });
+    }
+
+    #[test]
+    fn distinct_clients_get_distinct_trace_ids() {
+        let c = cluster();
+        let a = c.client();
+        let b = c.background_client();
+        assert_ne!(a.trace_id(), b.trace_id());
     }
 }

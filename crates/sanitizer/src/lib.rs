@@ -1,0 +1,33 @@
+//! `aceso-san` — happens-before race detection over DM verb traces, plus a
+//! protocol lint suite.
+//!
+//! Aceso's correctness rests on one-sided verbs racing with remote CPUs at
+//! 8-byte atomicity granularity: Algorithm 1's commit CAS, the index epoch
+//! lock, IV monotonicity. Tests and the chaos matrix catch such bugs only
+//! at the crash sites they enumerate; this crate checks *every* execution
+//! they already produce:
+//!
+//! * [`detect::Detector`] is a ThreadSanitizer-style vector-clock checker
+//!   implementing [`aceso_rdma::TraceSink`]. Install it on a cluster and
+//!   it flags unordered conflicting access pairs (torn reads, lost
+//!   updates) as they happen. See the module docs for the happens-before
+//!   model and its edge sources.
+//! * [`lint`] holds static protocol lints over layout constants and
+//!   workspace source: atomic-word alignment, `CrashPoint` wiring, and
+//!   cross-crate layout consistency.
+//! * [`selftest`] proves the detector is live: each scenario weakens one
+//!   ordering edge and asserts a race is reported.
+//!
+//! The `chaos analyze` subcommand drives all three over the CI crash-matrix
+//! sweep and a multi-client YCSB trace.
+
+#![forbid(unsafe_code)]
+
+pub mod detect;
+pub mod lint;
+pub mod selftest;
+pub mod vc;
+
+pub use detect::{Access, Annotator, Detector, Race, RaceKind};
+pub use selftest::SelftestOutcome;
+pub use vc::VectorClock;

@@ -1,0 +1,332 @@
+//! Static protocol lints: invariants the type system can't enforce.
+//!
+//! Each lint returns a list of violations (empty = clean). They come in two
+//! flavours:
+//!
+//! * **Layout lints** probe the real layout types (`index::layout`,
+//!   `blockalloc::layout`, `fusee::layout`, `core::config::memory_map`)
+//!   and check alignment and mutual consistency: every word a protocol
+//!   CASes or FAAs is 8-byte aligned, the three index geometries agree,
+//!   and the per-MN memory map has no overlapping areas.
+//! * **Source lints** walk the workspace source (resolved relative to this
+//!   crate's manifest) for invariants that live in the text: every
+//!   `CrashPoint` variant is wired into `maybe_crash` call sites, and
+//!   hardcoded layout literals match the constants they mirror.
+//!
+//! The `#[test]`s at the bottom make `cargo test` the lint driver; `chaos
+//! analyze` runs [`run_all`] too so the CI line exercises them.
+
+use aceso_blockalloc::{BlockId, BlockLayout, CellKind};
+use aceso_core::client::CrashPoint;
+use aceso_core::config::AcesoConfig;
+use aceso_fusee::layout::FuseeLayout;
+use aceso_index::layout::{
+    BUCKET_BYTES, BUCKET_SLOTS, COMBINED_BYTES, COMBINED_SLOTS, GROUP_BUCKETS, GROUP_BYTES,
+};
+use aceso_index::{IndexLayout, IndexWord, SLOT_BYTES};
+use aceso_rdma::{GlobalAddr, NodeId};
+use std::path::{Path, PathBuf};
+
+/// Workspace root, resolved from this crate's manifest directory.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .unwrap_or_else(|_| Path::new(env!("CARGO_MANIFEST_DIR")).join("../.."))
+}
+
+fn read_source(violations: &mut Vec<String>, rel: &str) -> Option<String> {
+    let path = workspace_root().join(rel);
+    match std::fs::read_to_string(&path) {
+        Ok(s) => Some(s),
+        Err(e) => {
+            violations.push(format!("source lint cannot read {}: {e}", path.display()));
+            None
+        }
+    }
+}
+
+/// Index layout: constants mutually consistent, every atomic word aligned.
+pub fn lint_index_layout() -> Vec<String> {
+    let mut v = Vec::new();
+    if BUCKET_BYTES != BUCKET_SLOTS * SLOT_BYTES {
+        v.push(format!(
+            "index BUCKET_BYTES {BUCKET_BYTES} != BUCKET_SLOTS*SLOT_BYTES"
+        ));
+    }
+    if GROUP_BYTES != GROUP_BUCKETS * BUCKET_BYTES {
+        v.push(format!(
+            "index GROUP_BYTES {GROUP_BYTES} != GROUP_BUCKETS*BUCKET_BYTES"
+        ));
+    }
+    if COMBINED_BYTES != 2 * BUCKET_BYTES || COMBINED_SLOTS != 2 * BUCKET_SLOTS {
+        v.push("index combined-bucket geometry is not two buckets".into());
+    }
+    // Every slot Atomic and Meta word of a sample layout must be 8-aligned
+    // (they are CAS targets) and classified consistently.
+    let l = IndexLayout::new(128, 7);
+    for g in 0..7 {
+        for c in 0..2 {
+            for s in 0..COMBINED_SLOTS {
+                let atomic = l.slot_offset(g, c, s);
+                let meta = atomic + 8;
+                for (name, off) in [("Atomic", atomic), ("Meta", meta)] {
+                    if off % 8 != 0 {
+                        v.push(format!("slot {name} word {off:#x} (g{g} c{c} s{s}) unaligned"));
+                    }
+                }
+                if !matches!(l.classify_word(atomic), IndexWord::Atomic { .. }) {
+                    v.push(format!("classify_word({atomic:#x}) is not Atomic"));
+                }
+                if !matches!(l.classify_word(meta), IndexWord::Meta { .. }) {
+                    v.push(format!("classify_word({meta:#x}) is not Meta"));
+                }
+            }
+        }
+    }
+    if !l.index_version_offset().is_multiple_of(8) {
+        v.push("Index Version word unaligned".into());
+    }
+    v
+}
+
+/// FUSEE layout: same 3-bucket geometry at half the slot width, aligned
+/// slot words.
+pub fn lint_fusee_geometry() -> Vec<String> {
+    let mut v = Vec::new();
+    // Probe fusee's (private) group size via the public index_size():
+    // adding one group to one partition adds exactly one group of bytes.
+    let size = |groups| FuseeLayout::new(1, groups, 4096, 4).index_size();
+    let fusee_group = size(9) - size(8);
+    // FUSEE uses 8-byte slots in the same 3-buckets-of-8 shape as Aceso's
+    // 16-byte slots, so each group is exactly half the byte size.
+    if fusee_group * 2 != GROUP_BYTES {
+        v.push(format!(
+            "fusee group bytes {fusee_group} is not half of index GROUP_BYTES {GROUP_BYTES}"
+        ));
+    }
+    if fusee_group != GROUP_BUCKETS * BUCKET_SLOTS * 8 {
+        v.push(format!("fusee group bytes {fusee_group} != 3 buckets x 8 slots x 8 B"));
+    }
+    v
+}
+
+/// Block/Meta area layout: record and block offsets aligned, areas disjoint.
+pub fn lint_blockalloc_layout() -> Vec<String> {
+    let mut v = Vec::new();
+    let l = BlockLayout {
+        n: 5,
+        block_size: 16 << 10,
+        num_arrays: 4,
+        num_delta: 12,
+        meta_base: 4096,
+        block_base: 1 << 20,
+    };
+    for b in 0..l.blocks_per_node() as BlockId {
+        let id = b;
+        let rec = l.record_offset(id);
+        let blk = l.block_offset(id);
+        if !rec.is_multiple_of(8) {
+            v.push(format!("record offset {rec:#x} of block {b} unaligned"));
+        }
+        if !blk.is_multiple_of(64) {
+            v.push(format!("block offset {blk:#x} of block {b} not 64-B aligned"));
+        }
+        if !(l.meta_base..l.meta_base + l.meta_size()).contains(&rec) {
+            v.push(format!("record {b} outside the Meta Area"));
+        }
+        if !(l.block_base..l.block_base + l.block_area_size()).contains(&blk) {
+            v.push(format!("block {b} outside the Block Area"));
+        }
+        // kind_of must roundtrip to a real cell for every id.
+        match l.kind_of(id) {
+            CellKind::Data { .. } | CellKind::Parity { .. } | CellKind::Delta { .. } => {}
+        }
+    }
+    if l.meta_base + l.meta_size() > l.block_base {
+        v.push("Meta Area overlaps Block Area".into());
+    }
+    v
+}
+
+/// Per-MN memory maps of the stock configurations: index, meta, and block
+/// areas must not overlap and must fit the region.
+pub fn lint_memory_maps() -> Vec<String> {
+    let mut v = Vec::new();
+    for (name, cfg) in [
+        ("small", AcesoConfig::small()),
+        ("bench", AcesoConfig::bench()),
+    ] {
+        let map = cfg.memory_map();
+        let index_end = map.index.base + map.index.size_bytes();
+        if index_end > map.blocks.meta_base {
+            v.push(format!("{name}: Index Area overlaps Meta Area"));
+        }
+        if map.blocks.meta_base + map.blocks.meta_size() > map.blocks.block_base {
+            v.push(format!("{name}: Meta Area overlaps Block Area"));
+        }
+        let end = map.blocks.block_base + map.blocks.block_area_size();
+        if end > map.region_len as u64 {
+            v.push(format!("{name}: Block Area exceeds the region"));
+        }
+        if map.blocks.block_base % map.blocks.block_size != 0 {
+            v.push(format!("{name}: Block Area base not block-aligned"));
+        }
+        if map.index.index_version_offset() % 8 != 0 {
+            v.push(format!("{name}: Index Version word unaligned"));
+        }
+    }
+    v
+}
+
+/// `pack48` must roundtrip every 64-aligned block offset the maps produce
+/// (slot addresses store 38 bits of offset).
+pub fn lint_pack48() -> Vec<String> {
+    let mut v = Vec::new();
+    let map = AcesoConfig::small().memory_map();
+    let last = (map.blocks.blocks_per_node() - 1) as BlockId;
+    for off in [
+        map.blocks.block_base,
+        map.blocks.block_offset(last),
+        map.blocks.block_offset(last) + map.blocks.block_size - 64,
+    ] {
+        for node in [0u16, 4] {
+            let a = GlobalAddr::new(NodeId(node), off);
+            let rt = GlobalAddr::unpack48(a.pack48());
+            if rt.node != a.node || rt.offset != a.offset {
+                v.push(format!("pack48 roundtrip failed for {node} offset {off:#x}"));
+            }
+        }
+    }
+    v
+}
+
+/// Source lint: every `CrashPoint` variant declared in `core/client.rs`
+/// must appear in `CrashPoint::ALL` and be wired to at least one protocol
+/// site (a `maybe_crash`/comparison use beyond the declaration itself).
+pub fn lint_crash_points() -> Vec<String> {
+    let mut v = Vec::new();
+    let Some(src) = read_source(&mut v, "crates/core/src/client.rs") else {
+        return v;
+    };
+    // Parse the enum declaration's variant names.
+    let Some(decl) = src
+        .split("pub enum CrashPoint {")
+        .nth(1)
+        .and_then(|rest| rest.split('}').next())
+    else {
+        v.push("cannot find `pub enum CrashPoint` in core/client.rs".into());
+        return v;
+    };
+    let variants: Vec<&str> = decl
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with("//"))
+        .filter_map(|l| l.strip_suffix(','))
+        .collect();
+    if variants.len() != CrashPoint::ALL.len() {
+        v.push(format!(
+            "CrashPoint declares {} variants but ALL lists {}",
+            variants.len(),
+            CrashPoint::ALL.len()
+        ));
+    }
+    for var in &variants {
+        let qualified = format!("CrashPoint::{var}");
+        // ALL + Display + >=1 protocol site = at least 3 qualified uses.
+        let uses = src.matches(qualified.as_str()).count();
+        if uses < 3 {
+            v.push(format!(
+                "{qualified} has {uses} uses in client.rs; expected ALL + Display + a protocol site"
+            ));
+        }
+    }
+    v
+}
+
+/// Source lint: `index/remote.rs` hardcodes the group stride in its local
+/// snapshot helpers; it must match `GROUP_BYTES`, and `cas_meta` must keep
+/// the `+ 8` Meta-word offset in step with `SLOT_BYTES / 2`.
+pub fn lint_remote_index_literals() -> Vec<String> {
+    let mut v = Vec::new();
+    let Some(src) = read_source(&mut v, "crates/index/src/remote.rs") else {
+        return v;
+    };
+    if src.contains("384") && GROUP_BYTES != 384 {
+        v.push(format!(
+            "index/remote.rs hardcodes a 384-byte group stride but GROUP_BYTES = {GROUP_BYTES}"
+        ));
+    }
+    if src.contains("addr.add(8)") && SLOT_BYTES != 16 {
+        v.push(format!(
+            "index/remote.rs offsets the Meta word by 8 but SLOT_BYTES = {SLOT_BYTES}"
+        ));
+    }
+    // Runtime cross-check of the same invariant: slot_addr agrees with the
+    // layout's arithmetic.
+    let l = IndexLayout::new(256, 6);
+    let ri = aceso_index::RemoteIndex::new(NodeId(0), l);
+    for (g, s) in [(0u64, 0u64), (3, 7), (5, 23)] {
+        let got = ri.slot_addr(g, s).offset;
+        let want = l.group_offset(g) + s * SLOT_BYTES;
+        if got != want {
+            v.push(format!(
+                "RemoteIndex::slot_addr(g{g}, s{s}) = {got:#x} but layout says {want:#x}"
+            ));
+        }
+    }
+    v
+}
+
+/// Runs every lint; empty result = the protocol invariants hold.
+pub fn run_all() -> Vec<String> {
+    let mut v = Vec::new();
+    v.extend(lint_index_layout());
+    v.extend(lint_fusee_geometry());
+    v.extend(lint_blockalloc_layout());
+    v.extend(lint_memory_maps());
+    v.extend(lint_pack48());
+    v.extend(lint_crash_points());
+    v.extend(lint_remote_index_literals());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_layout_is_consistent() {
+        assert_eq!(lint_index_layout(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn fusee_geometry_matches_index() {
+        assert_eq!(lint_fusee_geometry(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn blockalloc_layout_is_consistent() {
+        assert_eq!(lint_blockalloc_layout(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn memory_maps_do_not_overlap() {
+        assert_eq!(lint_memory_maps(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn pack48_roundtrips_block_offsets() {
+        assert_eq!(lint_pack48(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn crash_points_are_wired() {
+        assert_eq!(lint_crash_points(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn remote_index_literals_match_layout() {
+        assert_eq!(lint_remote_index_literals(), Vec::<String>::new());
+    }
+}

@@ -1,0 +1,80 @@
+//! Vector clocks over dense trace client ids.
+
+/// A vector clock indexed by trace client id (dense, grow-on-demand).
+///
+/// Component `i` is the number of events of client `i` known to
+/// happen-before the clock's owner. Missing components are zero.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct VectorClock(Vec<u64>);
+
+impl VectorClock {
+    /// The zero clock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Component `i` (zero if never set).
+    #[inline]
+    pub fn get(&self, i: u32) -> u64 {
+        self.0.get(i as usize).copied().unwrap_or(0)
+    }
+
+    /// Sets component `i` to `v` (growing as needed).
+    pub fn set(&mut self, i: u32, v: u64) {
+        let i = i as usize;
+        if i >= self.0.len() {
+            self.0.resize(i + 1, 0);
+        }
+        self.0[i] = v;
+    }
+
+    /// Increments component `i` and returns the new value (the owner's
+    /// clock tick for one event).
+    pub fn bump(&mut self, i: u32) -> u64 {
+        let v = self.get(i) + 1;
+        self.set(i, v);
+        v
+    }
+
+    /// Pointwise maximum: afterwards `self` knows everything `other` knew
+    /// (the acquire half of a release/acquire edge).
+    pub fn join(&mut self, other: &VectorClock) {
+        if other.0.len() > self.0.len() {
+            self.0.resize(other.0.len(), 0);
+        }
+        for (s, o) in self.0.iter_mut().zip(other.0.iter()) {
+            *s = (*s).max(*o);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bump_and_get() {
+        let mut v = VectorClock::new();
+        assert_eq!(v.get(3), 0);
+        assert_eq!(v.bump(3), 1);
+        assert_eq!(v.bump(3), 2);
+        assert_eq!(v.get(3), 2);
+        assert_eq!(v.get(0), 0);
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VectorClock::new();
+        a.set(0, 5);
+        a.set(2, 1);
+        let mut b = VectorClock::new();
+        b.set(0, 3);
+        b.set(1, 7);
+        b.set(3, 2);
+        a.join(&b);
+        assert_eq!(a.get(0), 5);
+        assert_eq!(a.get(1), 7);
+        assert_eq!(a.get(2), 1);
+        assert_eq!(a.get(3), 2);
+    }
+}
