@@ -1,0 +1,278 @@
+//! `bench quick` — the CI-sized benchmark slice.
+//!
+//! Runs a deterministic YCSB-A slice (four logical clients, round-robin
+//! in one thread, like `chaos analyze`'s traced workload) followed by one
+//! MN crash + tiered recovery, with an [`aceso_obs::Registry`] recorder
+//! installed so the run doubles as an end-to-end test of the
+//! observability layer. Prints the metrics snapshot as a table; with
+//! `--json`, additionally writes `BENCH_PR4.json`.
+//!
+//! Everything in the JSON file is *modeled or counted*, never wall-clock:
+//! op latency percentiles come from [`aceso_rdma::CostModel`] over the
+//! measured verb records, throughput from the same model over per-node
+//! demand, and recovery phase times are the `*_net_ms` columns of
+//! [`aceso_core::RecoveryReport`]. Two runs with the same seed therefore
+//! produce byte-identical files — CI diffs them.
+
+use aceso_core::{recover_mn, AcesoConfig, AcesoStore};
+use aceso_obs::{JsonWriter, Registry, Snapshot};
+use aceso_rdma::{OpKind, PhaseMeasurement};
+use aceso_workloads::ycsb::YcsbKind;
+use aceso_workloads::{value_for, Op, YcsbWorkload};
+use std::sync::Arc;
+
+const CLIENTS: usize = 4;
+const KEYS: u64 = 200;
+const OPS: usize = 2000;
+const VALUE_LEN: usize = 64;
+/// Simulated closed-loop client count fed to the cost model (the paper
+/// runs 184 clients on 23 CNs).
+const SIM_CLIENTS: usize = 184;
+/// Column whose MN is crashed and recovered.
+const KILL_COL: usize = 1;
+const DEFAULT_SEED: u64 = 0xace50;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench quick [--json] [--seed <hex>] [--out <path>]\n\
+         \n\
+         Runs the deterministic YCSB-A slice + one MN-crash recovery.\n\
+         --json writes BENCH_PR4.json (byte-identical across runs of the\n\
+         same seed); --out overrides the output path."
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) != Some("quick") {
+        usage();
+    }
+    let mut json = false;
+    let mut seed = DEFAULT_SEED;
+    let mut out = "BENCH_PR4.json".to_string();
+    let mut it = args[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => json = true,
+            "--seed" => {
+                let v = it.next().unwrap_or_else(|| usage());
+                let v = v.trim_start_matches("0x");
+                seed = u64::from_str_radix(v, 16).unwrap_or_else(|_| usage());
+            }
+            "--out" => out = it.next().unwrap_or_else(|| usage()).clone(),
+            _ => usage(),
+        }
+    }
+
+    let quick = run_quick(seed);
+    print!("{}", quick.render());
+    if json {
+        std::fs::write(&out, quick.to_json()).expect("write json");
+        println!("wrote {out}");
+    }
+}
+
+/// Everything one `bench quick` run measured.
+struct Quick {
+    seed: u64,
+    mops: f64,
+    bottleneck: String,
+    /// (kind label, p50, p99, p999) — modeled, µs.
+    latency: Vec<(&'static str, f64, f64, f64)>,
+    recovery: aceso_core::RecoveryReport,
+    snapshot: Snapshot,
+}
+
+fn run_quick(seed: u64) -> Quick {
+    let cfg = AcesoConfig::small();
+    let cost = cfg.cost;
+    let store = AcesoStore::launch(cfg).expect("launch");
+
+    // Preload from an uninstrumented client so the recorded counters
+    // cover exactly the measured slice.
+    let mut loader = store.client().expect("client");
+    for key in YcsbWorkload::preload_keys(KEYS) {
+        loader
+            .insert(&key, &value_for(&key, 0, VALUE_LEN))
+            .expect("preload");
+    }
+    loader.close_open_blocks().expect("close");
+
+    let registry = Registry::new();
+    store.install_recorder(Arc::clone(&registry));
+    let mut clients = Vec::with_capacity(CLIENTS);
+    for _ in 0..CLIENTS {
+        clients.push(store.client().expect("client"));
+    }
+    // One synchronized checkpoint round so recovery reads a real
+    // (compressed, non-empty) checkpoint and ckpt.* counters light up.
+    store.checkpoint_tick().expect("ckpt");
+
+    // The measured slice: single-threaded round-robin, so the schedule —
+    // and with it every verb count — is a pure function of the seed.
+    store.cluster.reset_traffic();
+    for c in &clients {
+        c.dm.reset_stats();
+    }
+    let mut streams: Vec<YcsbWorkload> = (0..CLIENTS)
+        .map(|i| YcsbWorkload::new(YcsbKind::A, KEYS, 0.99, VALUE_LEN, i as u32, seed))
+        .collect();
+    for opno in 0..OPS {
+        let i = opno % CLIENTS;
+        let req = streams[i].next().expect("ycsb streams are infinite");
+        let val = value_for(&req.key, opno as u64, req.value_len);
+        let res = match req.op {
+            Op::Search => clients[i].search(&req.key).map(|_| ()),
+            Op::Update => clients[i].update(&req.key, &val),
+            Op::Insert => clients[i].insert(&req.key, &val),
+            Op::Delete => clients[i].delete(&req.key).map(|_| ()),
+        };
+        res.unwrap_or_else(|e| panic!("op {opno} ({:?}): {e}", req.op));
+    }
+    let mut records = Vec::with_capacity(OPS);
+    for c in &mut clients {
+        c.flush_bitmaps().expect("flush");
+        records.extend(c.dm.take_ops().records);
+    }
+    let node_fg: Vec<_> = store
+        .cluster
+        .nodes()
+        .iter()
+        .map(|n| n.traffic.snapshot())
+        .collect();
+    let bg = vec![0.0; node_fg.len()];
+    let m = PhaseMeasurement {
+        n_clients: SIM_CLIENTS,
+        node_fg,
+        bg_bytes_per_sec: bg,
+        records,
+    };
+    let rep = cost.report(&m);
+    let latency = [
+        ("all", None),
+        ("search", Some(OpKind::Search)),
+        ("update", Some(OpKind::Update)),
+    ]
+    .into_iter()
+    .map(|(label, filter)| {
+        let s = cost.latency_samples(&m, filter);
+        (label, pct(&s, 0.50), pct(&s, 0.99), pct(&s, 0.999))
+    })
+    .collect();
+
+    // One MN crash + full tiered recovery (Meta → Index → Block →
+    // parity); phase spans land in the registry via the store recorder.
+    assert!(store.kill_mn(KILL_COL), "node already dead");
+    let recovery = recover_mn(&store, KILL_COL).expect("recovery");
+
+    let snapshot = registry.snapshot();
+    store.shutdown();
+    Quick {
+        seed,
+        mops: rep.mops,
+        bottleneck: rep.bottleneck.label(),
+        latency,
+        recovery,
+        snapshot,
+    }
+}
+
+/// Percentile by the cost model's deterministic pick rule: the sample at
+/// index `⌊(len−1)·q⌋` of the ascending-sorted distribution.
+fn pct(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    sorted[((sorted.len() - 1) as f64 * q) as usize]
+}
+
+impl Quick {
+    fn render(&self) -> String {
+        let mut s = String::new();
+        s.push_str(&format!(
+            "bench quick: seed {:#x}, {} ycsb-a ops over {} clients, {} keys\n",
+            self.seed, OPS, CLIENTS, KEYS
+        ));
+        s.push_str(&format!(
+            "  modeled throughput {:.2} Mops (bottleneck {})\n",
+            self.mops, self.bottleneck
+        ));
+        for (label, p50, p99, p999) in &self.latency {
+            s.push_str(&format!(
+                "  latency[{label}] p50 {p50:.1} µs, p99 {p99:.1} µs, p999 {p999:.1} µs\n"
+            ));
+        }
+        let r = &self.recovery;
+        s.push_str(&format!(
+            "  recovery of col {KILL_COL}: meta {:.3} ms, index {:.3} ms, parity {:.3} ms \
+             (modeled net; {} KVs scanned, {} local + {} remote new blocks)\n",
+            r.meta_net_ms,
+            r.index_tier_net_ms() - r.meta_net_ms,
+            r.parity_net_ms,
+            r.kv_count,
+            r.lblock_count,
+            r.rblock_count,
+        ));
+        s.push_str("\nmetrics snapshot:\n");
+        s.push_str(&self.snapshot.render_table());
+        s
+    }
+
+    /// `BENCH_PR4.json` — modeled/counted values only, so the file is a
+    /// pure function of the seed (schema `aceso.bench.quick.v1`).
+    fn to_json(&self) -> String {
+        let mut w = JsonWriter::new();
+        w.begin_object();
+        w.str_field("schema", "aceso.bench.quick.v1");
+        w.u64_field("seed", self.seed);
+        w.begin_object_key("workload");
+        w.str_field("kind", "ycsb-a");
+        w.u64_field("clients", CLIENTS as u64);
+        w.u64_field("keys", KEYS);
+        w.u64_field("ops", OPS as u64);
+        w.u64_field("value_len", VALUE_LEN as u64);
+        w.end_object();
+        w.begin_object_key("throughput");
+        w.f64_field("mops", self.mops);
+        w.str_field("bottleneck", &self.bottleneck);
+        w.end_object();
+        w.begin_object_key("latency_us");
+        for (label, p50, p99, p999) in &self.latency {
+            w.begin_object_key(label);
+            w.f64_field("p50", *p50);
+            w.f64_field("p99", *p99);
+            w.f64_field("p999", *p999);
+            w.end_object();
+        }
+        w.end_object();
+        let r = &self.recovery;
+        w.begin_object_key("recovery");
+        w.f64_field("meta_net_ms", r.meta_net_ms);
+        w.f64_field("ckpt_net_ms", r.ckpt_net_ms);
+        w.f64_field("lblock_net_ms", r.lblock_net_ms);
+        w.f64_field("rblock_net_ms", r.rblock_net_ms);
+        w.f64_field("index_tier_net_ms", r.index_tier_net_ms());
+        w.f64_field("parity_net_ms", r.parity_net_ms);
+        w.u64_field("kv_scanned", r.kv_count as u64);
+        w.u64_field("lblock_count", r.lblock_count as u64);
+        w.u64_field("rblock_count", r.rblock_count as u64);
+        w.u64_field(
+            "net_bytes",
+            r.meta_bytes + r.ckpt_bytes + r.lblock_net_bytes + r.rblock_net_bytes
+                + r.parity_net_bytes,
+        );
+        w.end_object();
+        // Counters are exact event counts (never timings), so the whole
+        // section is reproducible; histograms are wall-clock and stay out.
+        w.begin_object_key("counters");
+        for (name, v) in &self.snapshot.counters {
+            w.u64_field(name, *v);
+        }
+        w.end_object();
+        w.end_object();
+        let mut s = w.finish();
+        s.push('\n');
+        s
+    }
+}

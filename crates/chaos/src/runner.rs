@@ -15,8 +15,8 @@
 //!    back.
 //! 3. **Index-Version monotonicity** — no column's Index Version moves
 //!    backwards across kill + recovery.
-//! 4. **Parity consistency** — [`aceso_core::scrub`] reports every parity
-//!    equation and delta pair clean after full recovery.
+//! 4. **Parity consistency** — [`aceso_core::scrub()`] reports every
+//!    parity equation and delta pair clean after full recovery.
 
 use crate::cell::{Cell, InjectionSite, KillTiming, OpType, ReclaimState};
 use aceso_core::client::CrashPoint;
@@ -46,6 +46,32 @@ pub fn chaos_config() -> AcesoConfig {
     }
 }
 
+/// Human-readable labels of the four invariant classes, indexed like
+/// [`CellPhases::invariants_ms`].
+pub const INVARIANT_CLASSES: [&str; 4] = [
+    "oracle-agreement",
+    "meta-lock-liveness",
+    "iv-monotonicity",
+    "parity-scrub",
+];
+
+/// Wall-clock breakdown of one cell run, summed by the sweep summary so
+/// slow invariant checks are visible without profiling.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct CellPhases {
+    /// Store launch, preload, and optional ageing.
+    pub setup_ms: f64,
+    /// The two checkpoint rounds.
+    pub ckpt_ms: f64,
+    /// Arming + running the operation (includes a pre-op kill/recovery
+    /// when the cell's kill timing asks for one).
+    pub op_ms: f64,
+    /// Post-crash tiered recovery (CN consistency, then MN tiers).
+    pub recovery_ms: f64,
+    /// Per-invariant-class check time, indexed by [`INVARIANT_CLASSES`].
+    pub invariants_ms: [f64; 4],
+}
+
 /// What one cell run observed.
 #[derive(Clone, Debug)]
 pub struct CellOutcome {
@@ -63,6 +89,8 @@ pub struct CellOutcome {
     pub client_crashed: bool,
     /// Wall-clock cost of the cell.
     pub duration_ms: u128,
+    /// Where that wall-clock went.
+    pub phases: CellPhases,
 }
 
 impl CellOutcome {
@@ -100,6 +128,7 @@ pub fn run_cell_with_sink(
         mn_killed: false,
         client_crashed: false,
         duration_ms: 0,
+        phases: CellPhases::default(),
     };
     if let Err(e) = run_cell_inner(cell, seed, &mut out, sink) {
         out.violations.push(format!("harness: {e}"));
@@ -129,12 +158,20 @@ fn fmt_state(s: &Option<Vec<u8>>) -> String {
     }
 }
 
+/// Milliseconds since `t`, resetting `t` to now (phase-clock helper).
+fn take_ms(t: &mut Instant) -> f64 {
+    let e = t.elapsed().as_secs_f64() * 1e3;
+    *t = Instant::now();
+    e
+}
+
 fn run_cell_inner(
     cell: &Cell,
     seed: u64,
     out: &mut CellOutcome,
     sink: Option<Arc<dyn TraceSink>>,
 ) -> Result<(), String> {
+    let mut clock = Instant::now();
     let mut rng = StdRng::seed_from_u64(seed);
     let store = AcesoStore::launch(chaos_config()).map_err(|e| format!("launch: {e}"))?;
     if let Some(s) = sink {
@@ -194,6 +231,7 @@ fn run_cell_inner(
         }
     }
     store.cluster.trace_barrier();
+    out.phases.setup_ms = take_ms(&mut clock);
 
     // Two checkpoint rounds so every column has a restorable checkpoint
     // and a non-trivial Index Version to regress from.
@@ -206,6 +244,7 @@ fn run_cell_inner(
         s.index.local_index_version(&s.node.region)
     };
     let iv_pre: Vec<u64> = (0..n).map(|c| iv_of(&store, c)).collect();
+    out.phases.ckpt_ms = take_ms(&mut clock);
 
     // ---- Arm the cell ----------------------------------------------------
     let op_key: Vec<u8> = match cell.op {
@@ -359,6 +398,8 @@ fn run_cell_inner(
             .is_some_and(|p| p.fired().iter().any(|f| f.action == FaultAction::Fail)),
     };
 
+    out.phases.op_ms = take_ms(&mut clock);
+
     // ---- Tiered recovery (§3.4: CN consistency first, then MN) -----------
     // The crash is quiesced before recovery begins (the membership service
     // fences the failed epoch), and recovery completes before the sweep:
@@ -380,6 +421,7 @@ fn run_cell_inner(
             .map_err(|e| format!("recover_mn(block tier): {e}"))?;
     }
     store.cluster.trace_barrier();
+    out.phases.recovery_ms = take_ms(&mut clock);
 
     // ---- Invariants -------------------------------------------------------
     let mut sweep = store.client().map_err(|e| format!("sweep client: {e}"))?;
@@ -432,6 +474,7 @@ fn run_cell_inner(
             .push(format!("phantom key materialized: {}", fmt_state(&got))),
         Err(e) => out.violations.push(format!("phantom key search: {e}")),
     }
+    out.phases.invariants_ms[0] = take_ms(&mut clock);
 
     // 2. Meta-lock liveness: a probe write on the injected key must get
     // through (breaking any lock the crashed client abandoned).
@@ -449,6 +492,7 @@ fn run_cell_inner(
             .violations
             .push(format!("probe insert blocked (stale meta lock?): {e}")),
     }
+    out.phases.invariants_ms[1] = take_ms(&mut clock);
 
     // 3. Index-Version monotonicity across kill + recovery.
     for (col, pre) in iv_pre.iter().enumerate() {
@@ -459,6 +503,7 @@ fn run_cell_inner(
             ));
         }
     }
+    out.phases.invariants_ms[2] = take_ms(&mut clock);
 
     // 4. Parity-stripe consistency after full recovery.
     if let Err(e) = sweep.flush_bitmaps() {
@@ -470,6 +515,7 @@ fn run_cell_inner(
         Ok(r) => out.violations.push(format!("scrub dirty: {r:?}")),
         Err(e) => out.violations.push(format!("scrub: {e}")),
     }
+    out.phases.invariants_ms[3] = take_ms(&mut clock);
 
     store.shutdown();
     Ok(())

@@ -2,7 +2,7 @@
 //! and the coverage report.
 
 use crate::cell::{full_matrix, Cell, InjectionSite, KillTiming, ReclaimState};
-use crate::runner::{run_cell, CellOutcome};
+use crate::runner::{run_cell, CellOutcome, INVARIANT_CLASSES};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::collections::BTreeMap;
@@ -86,6 +86,22 @@ impl SweepReport {
         axis("injection site", &|o| o.cell.site.to_string());
         axis("kill timing", &|o| o.cell.kill.to_string());
         axis("reclaim state", &|o| o.cell.reclaim.to_string());
+
+        let sum = |f: &dyn Fn(&CellOutcome) -> f64| -> f64 { self.outcomes.iter().map(f).sum() };
+        s.push_str(&format!(
+            "  phase wall-time: setup {:.1}s  ckpt {:.1}s  op {:.1}s  recovery {:.1}s\n",
+            sum(&|o| o.phases.setup_ms) / 1e3,
+            sum(&|o| o.phases.ckpt_ms) / 1e3,
+            sum(&|o| o.phases.op_ms) / 1e3,
+            sum(&|o| o.phases.recovery_ms) / 1e3,
+        ));
+        s.push_str("  invariant check wall-time:\n");
+        for (i, name) in INVARIANT_CLASSES.iter().enumerate() {
+            s.push_str(&format!(
+                "    {name:<24} {:>8.1} ms\n",
+                sum(&|o| o.phases.invariants_ms[i])
+            ));
+        }
 
         let bad = self.violating_cells();
         if bad == 0 {

@@ -27,7 +27,8 @@ use aceso_blockalloc::{BlockId, BlockRecord, CellKind};
 use aceso_erasure::{xor_into, XCode};
 use aceso_index::slot::slot_version;
 use aceso_index::{fingerprint, route_hash, RemoteIndex, SlotAtomic, SlotMeta};
-use aceso_rdma::{Cluster, DmClient, GlobalAddr, OpKind, RdmaError};
+use aceso_obs::{Counter, Histogram, Obs, Registry};
+use aceso_rdma::{Cluster, DmClient, GlobalAddr, OpKind, OpRecord, RdmaError};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -107,6 +108,67 @@ struct CacheEntry {
     tombstone: bool,
 }
 
+/// Pre-resolved metric handles for one operation kind. Resolved once at
+/// client creation so the enabled hot path never does a name lookup.
+struct OpMetrics {
+    count: Counter,
+    verbs: Counter,
+    cas: Counter,
+    retries: Counter,
+    lat_us: Histogram,
+    batch_depth: Histogram,
+}
+
+impl OpMetrics {
+    fn new(reg: &Registry, kind: OpKind) -> Self {
+        let k = kind.name().to_ascii_lowercase();
+        OpMetrics {
+            count: reg.counter(&format!("client.{k}.count")),
+            verbs: reg.counter(&format!("client.{k}.verbs")),
+            cas: reg.counter(&format!("client.{k}.cas")),
+            retries: reg.counter(&format!("client.{k}.retries")),
+            lat_us: reg.histogram(&format!("client.{k}.us")),
+            batch_depth: reg.histogram(&format!("client.{k}.batch_depth")),
+        }
+    }
+}
+
+/// Per-client observability handles; present only when the owning store
+/// has a recorder installed (see `AcesoStore::install_recorder`).
+struct ClientMetrics {
+    ops: [OpMetrics; 4],
+    commit_retries: Counter,
+    recovery_waits: Counter,
+    degraded_reads: Counter,
+}
+
+impl ClientMetrics {
+    fn new(reg: &Registry) -> Self {
+        ClientMetrics {
+            ops: OpKind::ALL.map(|k| OpMetrics::new(reg, k)),
+            commit_retries: reg.counter("client.commit.cas_retries"),
+            recovery_waits: reg.counter("client.commit.recovery_waits"),
+            degraded_reads: reg.counter("client.search.degraded"),
+        }
+    }
+
+    fn op(&self, kind: OpKind) -> &OpMetrics {
+        let i = OpKind::ALL.iter().position(|k| *k == kind).unwrap();
+        &self.ops[i]
+    }
+
+    /// Attaches a completed op profile to the per-kind metrics: verb
+    /// counts, CAS count, commit retries and doorbell-batch depth.
+    fn record(&self, rec: &OpRecord) {
+        let m = self.op(rec.kind);
+        m.count.inc();
+        m.verbs.add(rec.verbs as u64);
+        m.cas.add(rec.cas as u64);
+        m.retries.add(rec.retries as u64);
+        m.batch_depth.record(rec.batch_max as f64);
+    }
+}
+
 struct SlotPlace {
     col: usize,
     kv_off: u64,
@@ -136,6 +198,9 @@ pub struct AcesoClient {
     /// Armed injection site: the next operation reaching it aborts with
     /// [`StoreError::Shutdown`], simulating a client crash mid-protocol.
     pub crash_point: Option<CrashPoint>,
+    /// Pre-resolved metric handles; `None` (the default) keeps every
+    /// probe on the existing no-recorder fast path.
+    metrics: Option<ClientMetrics>,
 }
 
 impl AcesoClient {
@@ -147,6 +212,7 @@ impl AcesoClient {
         cli_id: u32,
         tuning: ClientTuning,
         bitmap_flush_every: usize,
+        obs: Obs,
     ) -> Self {
         let n = map.blocks.n;
         AcesoClient {
@@ -164,6 +230,7 @@ impl AcesoClient {
             pending_count: 0,
             alloc_rr: cli_id as usize,
             crash_point: None,
+            metrics: obs.registry().map(|r| ClientMetrics::new(r)),
         }
     }
 
@@ -204,7 +271,20 @@ impl AcesoClient {
     // ---- Public API -----------------------------------------------------
 
     /// Inserts (or overwrites) `key` with `value`.
+    ///
+    /// ```
+    /// use aceso_core::{AcesoConfig, AcesoStore};
+    ///
+    /// let store = AcesoStore::launch(AcesoConfig::small()).unwrap();
+    /// let mut client = store.client().unwrap();
+    /// client.insert(b"user1", b"alice").unwrap();
+    /// client.update(b"user1", b"bob").unwrap();
+    /// assert_eq!(client.search(b"user1").unwrap(), Some(b"bob".to_vec()));
+    /// assert!(client.delete(b"user1").unwrap());
+    /// assert_eq!(client.search(b"user1").unwrap(), None);
+    /// ```
     pub fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        let _span = self.op_span(OpKind::Insert);
         self.dm.begin_op();
         let r = self.upsert(key, value, false, true);
         self.finish_op(&r, OpKind::Insert);
@@ -213,6 +293,7 @@ impl AcesoClient {
 
     /// Updates an existing key; `NotFound` if absent.
     pub fn update(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        let _span = self.op_span(OpKind::Update);
         self.dm.begin_op();
         let r = self.upsert(key, value, false, false);
         self.finish_op(&r, OpKind::Update);
@@ -221,15 +302,16 @@ impl AcesoClient {
 
     /// Deletes a key by committing a tombstone; returns whether it existed.
     pub fn delete(&mut self, key: &[u8]) -> Result<bool> {
+        let _span = self.op_span(OpKind::Delete);
         self.dm.begin_op();
         let r = self.upsert(key, b"", true, false);
         match r {
             Ok(()) => {
-                self.dm.end_op(OpKind::Delete);
+                self.note_finished(OpKind::Delete);
                 Ok(true)
             }
             Err(StoreError::NotFound) => {
-                self.dm.end_op(OpKind::Delete);
+                self.note_finished(OpKind::Delete);
                 Ok(false)
             }
             Err(e) => {
@@ -241,6 +323,7 @@ impl AcesoClient {
 
     /// Point lookup.
     pub fn search(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let _span = self.op_span(OpKind::Search);
         self.dm.begin_op();
         let r = self.search_inner(key);
         self.finish_op(&r, OpKind::Search);
@@ -268,9 +351,23 @@ impl AcesoClient {
         self.cache.clear();
     }
 
+    /// Starts the wall-clock span for one API call; `None` keeps the
+    /// uninstrumented fast path (no clock read).
+    fn op_span(&self, kind: OpKind) -> Option<aceso_obs::HistTimer> {
+        self.metrics.as_ref().map(|m| m.op(kind).lat_us.start_timer())
+    }
+
+    /// Ends profiling and attaches the op profile to the metrics.
+    fn note_finished(&self, kind: OpKind) {
+        let rec = self.dm.end_op(kind);
+        if let (Some(m), Some(rec)) = (&self.metrics, rec) {
+            m.record(&rec);
+        }
+    }
+
     fn finish_op<T>(&self, r: &Result<T>, kind: OpKind) {
         match r {
-            Ok(_) => self.dm.end_op(kind),
+            Ok(_) => self.note_finished(kind),
             Err(_) => self.dm.abort_op(),
         }
     }
@@ -501,6 +598,9 @@ impl AcesoClient {
         len: usize,
         key: &[u8],
     ) -> Result<Option<Vec<u8>>> {
+        if let Some(m) = &self.metrics {
+            m.degraded_reads.inc();
+        }
         let buf = self.reconstruct_range(col, off, len)?;
         match kv::decode(&buf) {
             Some(d) if d.key == key && !d.is_invalidated() => Ok(self.value_of(d).and_then(|v| v)),
@@ -626,11 +726,17 @@ impl AcesoClient {
                 Ok(CommitOutcome::Done) => return Ok(()),
                 Ok(CommitOutcome::Retry) => {
                     self.dm.note_retry();
+                    if let Some(m) = &self.metrics {
+                        m.commit_retries.inc();
+                    }
                 }
                 Err(StoreError::Rdma(RdmaError::NodeUnreachable(_))) => {
                     // Mid-recovery: wait for the replacement to publish.
                     std::thread::sleep(std::time::Duration::from_millis(1));
                     self.dm.note_retry();
+                    if let Some(m) = &self.metrics {
+                        m.recovery_waits.inc();
+                    }
                 }
                 Err(e) => return Err(e),
             }

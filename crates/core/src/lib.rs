@@ -21,6 +21,7 @@
 //! | top-level orchestration (launch, kill, recover) | [`store`] |
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod ckpt;
 pub mod client;

@@ -25,24 +25,51 @@ use std::sync::Arc;
 use std::time::Instant;
 
 /// Stage-by-stage MN recovery breakdown (paper Table 2).
+///
+/// Each stage's headline `*_ms` column mixes *measured* compute with
+/// *modeled* network time and is therefore machine-dependent. The
+/// `*_bytes`/`*_ops` counters and the `*_net_ms` columns depend only on
+/// the bytes actually moved and the configured [`aceso_rdma::CostModel`],
+/// so they are bit-reproducible run to run — `bench quick --json` reports
+/// those.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct RecoveryReport {
     /// Reading the Meta Area replica (ms).
     pub read_meta_ms: f64,
+    /// Meta Area replica bytes transferred (deterministic).
+    pub meta_bytes: u64,
+    /// Modeled network share of [`read_meta_ms`](Self::read_meta_ms).
+    pub meta_net_ms: f64,
     /// Reading the latest index checkpoint (ms).
     pub read_ckpt_ms: f64,
+    /// Checkpoint bytes transferred (deterministic).
+    pub ckpt_bytes: u64,
+    /// Modeled network share of [`read_ckpt_ms`](Self::read_ckpt_ms).
+    pub ckpt_net_ms: f64,
     /// Reconstructing *new* local blocks via erasure decoding (ms).
     pub recover_lblock_ms: f64,
     /// Number of new local blocks reconstructed.
     pub lblock_count: usize,
+    /// Network bytes read while decoding new local blocks (deterministic).
+    pub lblock_net_bytes: u64,
+    /// Network read ops issued while decoding new local blocks.
+    pub lblock_net_ops: u64,
+    /// Modeled network share of [`recover_lblock_ms`](Self::recover_lblock_ms).
+    pub lblock_net_ms: f64,
     /// Reading new remote blocks from alive MNs (ms).
     pub read_rblock_ms: f64,
     /// Number of new remote blocks read.
     pub rblock_count: usize,
+    /// Bytes of new remote blocks read (deterministic).
+    pub rblock_net_bytes: u64,
+    /// Modeled network share of [`read_rblock_ms`](Self::read_rblock_ms).
+    pub rblock_net_ms: f64,
     /// Scanning KV pairs of new blocks and reapplying slots (ms).
     pub scan_kv_ms: f64,
     /// KV pairs scanned.
     pub kv_count: usize,
+    /// Bytes of block content scanned for KVs (deterministic).
+    pub scan_bytes: u64,
     /// Reconstructing *old* local blocks (Block tier, ms).
     pub recover_old_lblock_ms: f64,
     /// Block-tier compute component (decode XOR; machine-dependent).
@@ -53,6 +80,10 @@ pub struct RecoveryReport {
     pub old_lblock_count: usize,
     /// Background parity + delta reconstruction (ms, not part of Total).
     pub parity_ms: f64,
+    /// Network bytes read by the parity rebuild (deterministic).
+    pub parity_net_bytes: u64,
+    /// Modeled network share of [`parity_ms`](Self::parity_ms).
+    pub parity_net_ms: f64,
 }
 
 impl RecoveryReport {
@@ -68,6 +99,12 @@ impl RecoveryReport {
     /// The paper's Total Time column (through the Block tier).
     pub fn total_ms(&self) -> f64 {
         self.index_tier_ms() + self.recover_old_lblock_ms
+    }
+
+    /// Modeled network time through the Index tier — the deterministic,
+    /// machine-independent analogue of [`index_tier_ms`](Self::index_tier_ms).
+    pub fn index_tier_net_ms(&self) -> f64 {
+        self.meta_net_ms + self.ckpt_net_ms + self.lblock_net_ms + self.rblock_net_ms
     }
 }
 
@@ -147,8 +184,9 @@ pub fn recover_mn_with(
         let role_of = |id: BlockId| recs[id as usize].role as u8;
         *server.alloc.lock() = Allocator::rebuild(map.blocks, role_of);
     }
-    report.read_meta_ms =
-        t.elapsed().as_secs_f64() * 1e3 + cost.transfer_secs(meta_bytes as u64) * 1e3;
+    report.meta_bytes = meta_bytes as u64;
+    report.meta_net_ms = cost.transfer_secs(meta_bytes as u64) * 1e3;
+    report.read_meta_ms = t.elapsed().as_secs_f64() * 1e3 + report.meta_net_ms;
 
     // ---- Tier 2: Index Area ---------------------------------------------
     // The checkpoint lives on the right neighbour only (paper Figure 3).
@@ -180,8 +218,9 @@ pub fn recover_mn_with(
         .index
         .local_set_index_version(&node.region, ckpt_iv + 1);
     server.sender.lock().rebase(ckpt.clone());
-    report.read_ckpt_ms =
-        t.elapsed().as_secs_f64() * 1e3 + cost.transfer_secs(ckpt.len() as u64) * 1e3;
+    report.ckpt_bytes = ckpt.len() as u64;
+    report.ckpt_net_ms = cost.transfer_secs(ckpt.len() as u64) * 1e3;
+    report.read_ckpt_ms = t.elapsed().as_secs_f64() * 1e3 + report.ckpt_net_ms;
 
     // Classify data blocks everywhere: "new" = Index Version 0 or ≥ ckpt.
     let is_new = |iv: u64| iv == 0 || iv >= ckpt_iv;
@@ -249,8 +288,10 @@ pub fn recover_mn_with(
     let (net_bytes, net_ops, mut others) =
         reconstruct_arrays_parallel(store, &server, col, &new_arrays)?;
     report.lblock_count = local_new.len();
-    report.recover_lblock_ms =
-        t.elapsed().as_secs_f64() * 1e3 + modeled_transfer_ms(store, net_bytes, net_ops);
+    report.lblock_net_bytes = net_bytes;
+    report.lblock_net_ops = net_ops;
+    report.lblock_net_ms = modeled_transfer_ms(store, net_bytes, net_ops);
+    report.recover_lblock_ms = t.elapsed().as_secs_f64() * 1e3 + report.lblock_net_ms;
 
     // Read new remote blocks.
     let t = Instant::now();
@@ -270,8 +311,10 @@ pub fn recover_mn_with(
         });
     }
     report.rblock_count = remote_new.len();
-    report.read_rblock_ms = t.elapsed().as_secs_f64() * 1e3
-        + (rbytes as f64 / cost.node_bw + remote_new.len() as f64 * cost.rtt_us * 1e-6) * 1e3;
+    report.rblock_net_bytes = rbytes;
+    report.rblock_net_ms =
+        (rbytes as f64 / cost.node_bw + remote_new.len() as f64 * cost.rtt_us * 1e-6) * 1e3;
+    report.read_rblock_ms = t.elapsed().as_secs_f64() * 1e3 + report.rblock_net_ms;
 
     // Include the reconstructed local new blocks in the scan set.
     for (id, rec) in &local_new {
@@ -305,6 +348,7 @@ pub fn recover_mn_with(
     let t = Instant::now();
     let (kv_count, deferred) = scan_and_reapply(store, &server, col, &scanned)?;
     report.kv_count = kv_count;
+    report.scan_bytes = scanned.iter().map(|sb| sb.bytes.len() as u64).sum();
     report.scan_kv_ms = t.elapsed().as_secs_f64() * 1e3;
 
     // ---- Publish: functionality is back (degraded reads). --------------
@@ -333,6 +377,7 @@ pub fn recover_mn_with(
 
     // ---- Tier 3: old local blocks. --------------------------------------
     if !block_tier {
+        record_recovery_obs(&store.obs(), &report);
         return Ok(report);
     }
     let t = Instant::now();
@@ -383,13 +428,42 @@ pub fn recover_mn_with(
                 net_bytes += rebuild_parity_and_deltas(store, &srv, &dm, pc, array)?;
             }
         }
-        report.parity_ms =
-            t.elapsed().as_secs_f64() * 1e3 + (net_bytes as f64 / cost.node_bw) * 1e3;
+        report.parity_net_bytes = net_bytes;
+        report.parity_net_ms = (net_bytes as f64 / cost.node_bw) * 1e3;
+        report.parity_ms = t.elapsed().as_secs_f64() * 1e3 + report.parity_net_ms;
         // Every pending column's parity and delta copies are whole again.
         store.degraded.lock().clear();
     }
 
+    record_recovery_obs(&store.obs(), &report);
     Ok(report)
+}
+
+/// Records a finished recovery's phase timings and counters into the
+/// store's observability handle (no-op when no recorder is installed).
+/// Span names follow the tier order: `recovery.meta.us`,
+/// `recovery.index.us`, `recovery.block.us`, `recovery.parity.us`.
+fn record_recovery_obs(obs: &aceso_obs::Obs, r: &RecoveryReport) {
+    if !obs.is_enabled() {
+        return;
+    }
+    obs.add("recovery.runs", 1);
+    obs.add("recovery.kv_scanned", r.kv_count as u64);
+    obs.add("recovery.lblocks", r.lblock_count as u64);
+    obs.add("recovery.rblocks", r.rblock_count as u64);
+    obs.add(
+        "recovery.net_bytes",
+        r.meta_bytes + r.ckpt_bytes + r.lblock_net_bytes + r.rblock_net_bytes + r.parity_net_bytes,
+    );
+    obs.observe("recovery.meta.us", r.read_meta_ms * 1e3);
+    obs.observe(
+        "recovery.index.us",
+        (r.read_ckpt_ms + r.recover_lblock_ms + r.read_rblock_ms + r.scan_kv_ms) * 1e3,
+    );
+    obs.observe("recovery.block.us", r.recover_old_lblock_ms * 1e3);
+    if r.parity_ms > 0.0 {
+        obs.observe("recovery.parity.us", r.parity_ms * 1e3);
+    }
 }
 
 /// Modeled network time for a recovery stage: bytes at line rate plus one

@@ -166,5 +166,15 @@ pub fn scrub(store: &Arc<AcesoStore>) -> Result<ScrubReport> {
             }
         }
     }
+    let obs = store.obs();
+    if obs.is_enabled() {
+        obs.add("scrub.runs", 1);
+        obs.add("scrub.arrays", report.arrays_checked as u64);
+        obs.add("scrub.parity_ok", report.parity_ok as u64);
+        obs.add(
+            "scrub.mismatches",
+            (report.parity_mismatch + report.delta_copy_mismatch) as u64,
+        );
+    }
     Ok(report)
 }

@@ -8,6 +8,7 @@ use crate::proto::{ServerReq, ServerResp};
 use crate::server::{Directory, MnServer};
 use crate::{Result, StoreError};
 use aceso_blockalloc::Role;
+use aceso_obs::Obs;
 use aceso_rdma::{rpc_channel, Cluster, ClusterConfig, DmClient};
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
@@ -55,6 +56,10 @@ pub struct AcesoStore {
     /// re-materialized (the degraded window between the Index tier and the
     /// parity rebuild). CN recovery must not trust delta bytes hosted here.
     pub(crate) degraded: Mutex<Vec<usize>>,
+    /// Observability handle. Off by default; [`AcesoStore::install_recorder`]
+    /// turns it on for clients created afterwards and for recovery/scrub/
+    /// checkpoint instrumentation.
+    obs: Mutex<Obs>,
 }
 
 impl AcesoStore {
@@ -102,6 +107,7 @@ impl AcesoStore {
             running: Arc::new(AtomicBool::new(true)),
             pending_parity: Mutex::new(Vec::new()),
             degraded: Mutex::new(Vec::new()),
+            obs: Mutex::new(Obs::off()),
         });
         if cfg.auto_checkpoint {
             let weak = Arc::downgrade(&store);
@@ -136,6 +142,7 @@ impl AcesoStore {
             id,
             tuning,
             self.cfg.bitmap_flush_every,
+            self.obs(),
         ))
     }
 
@@ -149,7 +156,20 @@ impl AcesoStore {
             cli_id,
             ClientTuning::default(),
             self.cfg.bitmap_flush_every,
+            self.obs(),
         )
+    }
+
+    /// Installs a metrics recorder: clients created from now on, recovery
+    /// runs, scrubs and checkpoint rounds record into `registry`. Existing
+    /// clients keep their (un)instrumented state.
+    pub fn install_recorder(&self, registry: std::sync::Arc<aceso_obs::Registry>) {
+        *self.obs.lock() = Obs::on(registry);
+    }
+
+    /// The current observability handle (cheap clone; off by default).
+    pub fn obs(&self) -> Obs {
+        self.obs.lock().clone()
     }
 
     /// The column directory (clients, recovery).
@@ -189,6 +209,15 @@ impl AcesoStore {
                     .rpc(node, &self.dir.rpc_of(col), ServerReq::CkptRound, 16)
             {
                 reports.push(report);
+            }
+        }
+        let obs = self.obs();
+        if obs.is_enabled() {
+            obs.add("ckpt.rounds", 1);
+            for r in &reports {
+                obs.add("ckpt.raw_bytes", r.raw_len as u64);
+                obs.add("ckpt.compressed_bytes", r.compressed_len as u64);
+                obs.observe("ckpt.compress.us", r.compress_us);
             }
         }
         Ok(reports)

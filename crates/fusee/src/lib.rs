@@ -269,7 +269,7 @@ impl FuseeClient {
         self.dm.begin_op();
         let r = self.search_inner(key);
         match &r {
-            Ok(_) => self.dm.end_op(OpKind::Search),
+            Ok(_) => { self.dm.end_op(OpKind::Search); }
             Err(_) => self.dm.abort_op(),
         }
         r
@@ -343,7 +343,7 @@ impl FuseeClient {
         self.dm.begin_op();
         let r = self.write(key, value, true);
         match &r {
-            Ok(_) => self.dm.end_op(OpKind::Insert),
+            Ok(_) => { self.dm.end_op(OpKind::Insert); }
             Err(_) => self.dm.abort_op(),
         }
         r
@@ -354,7 +354,7 @@ impl FuseeClient {
         self.dm.begin_op();
         let r = self.write(key, value, false);
         match &r {
-            Ok(_) => self.dm.end_op(OpKind::Update),
+            Ok(_) => { self.dm.end_op(OpKind::Update); }
             Err(_) => self.dm.abort_op(),
         }
         r

@@ -1,0 +1,206 @@
+//! Log-bucketed latency histograms.
+//!
+//! 64 power-of-two octaves × 4 linear sub-buckets = 256 atomic buckets over
+//! the full `u64` range (values are recorded in integer nanoseconds, exposed
+//! in microseconds). This is the classic HDR-lite layout: constant-time
+//! lock-free recording, ≤ 25 % relative quantile error, and a fixed-size
+//! snapshot that serializes deterministically.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+const SUB: u32 = 4; // Linear sub-buckets per octave (power of two).
+const BUCKETS: usize = 64 * SUB as usize;
+
+/// Bucket index for a nanosecond value. Values below `2*SUB` map linearly;
+/// above that, the top `log2(SUB)+1` significant bits select the bucket.
+fn bucket_of(ns: u64) -> usize {
+    if ns < 2 * SUB as u64 {
+        return ns as usize;
+    }
+    let msb = 63 - ns.leading_zeros(); // ≥ 3 here
+    let shift = msb - SUB.trailing_zeros(); // low bits dropped
+    let sub = ((ns >> shift) & (SUB as u64 - 1)) as u32;
+    ((msb - SUB.trailing_zeros()) * SUB + sub + SUB) as usize
+}
+
+/// Lower bound (ns) of bucket `i` — the deterministic representative value
+/// used for quantile estimation.
+fn bucket_floor(i: usize) -> u64 {
+    let i = i as u64;
+    let sub = SUB as u64;
+    if i < 2 * sub {
+        return i;
+    }
+    let octave = (i - sub) / sub + sub.trailing_zeros() as u64;
+    let within = (i - sub) % sub;
+    (1u64 << octave) + (within << (octave - sub.trailing_zeros() as u64))
+}
+
+/// A shareable, lock-free latency histogram (values in microseconds).
+#[derive(Clone)]
+pub struct Histogram {
+    inner: Arc<HistInner>,
+}
+
+struct HistInner {
+    buckets: [AtomicU64; BUCKETS],
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+}
+
+impl Histogram {
+    pub(crate) fn new() -> Self {
+        Histogram {
+            inner: Arc::new(HistInner {
+                buckets: [const { AtomicU64::new(0) }; BUCKETS],
+                count: AtomicU64::new(0),
+                sum_ns: AtomicU64::new(0),
+                max_ns: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Records a microsecond observation (negative values clamp to zero).
+    pub fn record(&self, us: f64) {
+        let ns = (us.max(0.0) * 1e3).round() as u64;
+        let h = &self.inner;
+        h.buckets[bucket_of(ns)].fetch_add(1, Ordering::Relaxed);
+        h.count.fetch_add(1, Ordering::Relaxed);
+        h.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        h.max_ns.fetch_max(ns, Ordering::Relaxed);
+    }
+
+    /// Starts a wall-clock timer that records elapsed µs on drop.
+    pub fn start_timer(&self) -> HistTimer {
+        HistTimer {
+            hist: self.clone(),
+            start: Instant::now(),
+        }
+    }
+
+    /// A consistent-enough copy of the current state (individual bucket
+    /// reads are relaxed; exact consistency is not needed for reporting).
+    pub fn snapshot(&self) -> HistSnapshot {
+        let h = &self.inner;
+        let mut buckets = [0u64; BUCKETS];
+        for (dst, src) in buckets.iter_mut().zip(h.buckets.iter()) {
+            *dst = src.load(Ordering::Relaxed);
+        }
+        HistSnapshot {
+            count: buckets.iter().sum(),
+            sum_ns: h.sum_ns.load(Ordering::Relaxed),
+            max_ns: h.max_ns.load(Ordering::Relaxed),
+            buckets,
+        }
+    }
+}
+
+/// Span guard: records the elapsed wall time (µs) into its histogram when
+/// dropped. Obtain one via [`Histogram::start_timer`] or
+/// [`crate::Obs::span`].
+pub struct HistTimer {
+    hist: Histogram,
+    start: Instant,
+}
+
+impl Drop for HistTimer {
+    fn drop(&mut self) {
+        self.hist.record(self.start.elapsed().as_secs_f64() * 1e6);
+    }
+}
+
+/// An immutable copy of a histogram's state, in microseconds.
+#[derive(Clone)]
+pub struct HistSnapshot {
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observations, in nanoseconds.
+    pub sum_ns: u64,
+    /// Largest observation, in nanoseconds.
+    pub max_ns: u64,
+    buckets: [u64; BUCKETS],
+}
+
+impl HistSnapshot {
+    /// Mean observation in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum_ns as f64 / self.count as f64 / 1e3
+        }
+    }
+
+    /// Largest observation in microseconds.
+    pub fn max_us(&self) -> f64 {
+        self.max_ns as f64 / 1e3
+    }
+
+    /// The `q`-quantile (`0.0 ..= 1.0`) in microseconds, estimated as the
+    /// lower bound of the bucket containing the rank — deterministic for a
+    /// given set of observations.
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_floor(i) as f64 / 1e3;
+            }
+        }
+        self.max_us()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_consistent() {
+        let mut last = 0usize;
+        for ns in [0u64, 1, 5, 7, 8, 9, 100, 1000, 12345, 1 << 30, u64::MAX] {
+            let b = bucket_of(ns);
+            assert!(b >= last, "bucket order broke at {ns}");
+            assert!(bucket_floor(b) <= ns, "floor({b}) > {ns}");
+            last = b;
+        }
+        // Every reachable bucket's floor maps back to that bucket (the
+        // top msb=63 octave ends at index 251; 252..256 are never hit).
+        assert_eq!(bucket_of(u64::MAX), 251);
+        for i in 0..=251 {
+            assert_eq!(bucket_of(bucket_floor(i)), i, "roundtrip bucket {i}");
+        }
+    }
+
+    #[test]
+    fn quantiles_track_percentiles() {
+        let h = Histogram::new();
+        for i in 1..=1000u64 {
+            h.record(i as f64); // 1..=1000 µs
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 1000);
+        let p50 = s.quantile_us(0.50);
+        let p99 = s.quantile_us(0.99);
+        let p999 = s.quantile_us(0.999);
+        assert!((400.0..=500.0).contains(&p50), "p50={p50}");
+        assert!((800.0..=990.0).contains(&p99), "p99={p99}");
+        assert!(p999 >= p99, "p999={p999} < p99={p99}");
+        assert!((s.mean_us() - 500.5).abs() < 1.0);
+        assert_eq!(s.max_us(), 1000.0);
+    }
+
+    #[test]
+    fn timer_records_once() {
+        let h = Histogram::new();
+        drop(h.start_timer());
+        assert_eq!(h.snapshot().count, 1);
+    }
+}

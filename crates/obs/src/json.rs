@@ -1,0 +1,191 @@
+//! A minimal deterministic JSON writer.
+//!
+//! The workspace has no serde (offline build); this hand-rolled writer is
+//! enough for metric snapshots and bench trajectories, and guarantees the
+//! byte-stability the `BENCH_*.json` files need: callers control key order,
+//! and floats always format through the same fixed-precision rule.
+
+/// Incrementally builds a JSON document with deterministic output.
+///
+/// Objects and arrays are opened/closed explicitly; the writer tracks
+/// comma placement. Floats are rendered with [`JsonWriter::fmt_f64`]
+/// (fixed 6-decimal precision, trailing zeros trimmed) so equal inputs
+/// always produce identical bytes.
+#[derive(Default)]
+pub struct JsonWriter {
+    out: String,
+    need_comma: Vec<bool>,
+}
+
+impl JsonWriter {
+    /// A fresh writer.
+    pub fn new() -> Self {
+        JsonWriter::default()
+    }
+
+    /// Deterministic float formatting: fixed 6-decimal, trailing zeros
+    /// (and a bare trailing point) trimmed; non-finite values become 0.
+    pub fn fmt_f64(v: f64) -> String {
+        if !v.is_finite() {
+            return "0".to_string();
+        }
+        let mut s = format!("{v:.6}");
+        if s.contains('.') {
+            while s.ends_with('0') {
+                s.pop();
+            }
+            if s.ends_with('.') {
+                s.pop();
+            }
+        }
+        if s == "-0" {
+            s = "0".to_string();
+        }
+        s
+    }
+
+    fn pre_value(&mut self) {
+        if let Some(need) = self.need_comma.last_mut() {
+            if *need {
+                self.out.push(',');
+            }
+            *need = true;
+        }
+    }
+
+    fn push_escaped(&mut self, s: &str) {
+        self.out.push('"');
+        for c in s.chars() {
+            match c {
+                '"' => self.out.push_str("\\\""),
+                '\\' => self.out.push_str("\\\\"),
+                '\n' => self.out.push_str("\\n"),
+                '\t' => self.out.push_str("\\t"),
+                '\r' => self.out.push_str("\\r"),
+                c if (c as u32) < 0x20 => {
+                    self.out.push_str(&format!("\\u{:04x}", c as u32));
+                }
+                c => self.out.push(c),
+            }
+        }
+        self.out.push('"');
+    }
+
+    /// Opens the root object or an array element object.
+    pub fn begin_object(&mut self) -> &mut Self {
+        self.pre_value();
+        self.out.push('{');
+        self.need_comma.push(false);
+        self
+    }
+
+    /// Opens an object under `key`.
+    pub fn begin_object_key(&mut self, key: &str) -> &mut Self {
+        self.key(key);
+        self.out.push('{');
+        self.need_comma.push(false);
+        self
+    }
+
+    /// Closes the innermost object.
+    pub fn end_object(&mut self) -> &mut Self {
+        self.need_comma.pop();
+        self.out.push('}');
+        self
+    }
+
+    /// Opens an array under `key`.
+    pub fn begin_array_key(&mut self, key: &str) -> &mut Self {
+        self.key(key);
+        self.out.push('[');
+        self.need_comma.push(false);
+        self
+    }
+
+    /// Closes the innermost array.
+    pub fn end_array(&mut self) -> &mut Self {
+        self.need_comma.pop();
+        self.out.push(']');
+        self
+    }
+
+    fn key(&mut self, key: &str) {
+        self.pre_value(); // Emits the separating comma; the value follows.
+        self.push_escaped(key);
+        self.out.push(':');
+    }
+
+    /// Writes `key: "value"`.
+    pub fn str_field(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        self.push_escaped(value);
+        self
+    }
+
+    /// Writes `key: value` for an unsigned integer.
+    pub fn u64_field(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        self.out.push_str(&value.to_string());
+        self
+    }
+
+    /// Writes `key: value` for a float via [`JsonWriter::fmt_f64`].
+    pub fn f64_field(&mut self, key: &str, value: f64) -> &mut Self {
+        self.key(key);
+        self.out.push_str(&Self::fmt_f64(value));
+        self
+    }
+
+    /// Writes a bare float array element.
+    pub fn f64_elem(&mut self, value: f64) -> &mut Self {
+        self.pre_value();
+        self.out.push_str(&Self::fmt_f64(value));
+        self
+    }
+
+    /// Finishes and returns the document (callers add a trailing newline
+    /// when writing files).
+    pub fn finish(self) -> String {
+        self.out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_nested_documents() {
+        let mut w = JsonWriter::new();
+        w.begin_object()
+            .str_field("name", "quick")
+            .u64_field("ops", 42)
+            .begin_object_key("lat")
+            .f64_field("p50", 3.25)
+            .f64_field("p99", 10.0)
+            .end_object()
+            .begin_array_key("xs");
+        w.f64_elem(1.0).f64_elem(2.5);
+        w.end_array().end_object();
+        assert_eq!(
+            w.finish(),
+            r#"{"name":"quick","ops":42,"lat":{"p50":3.25,"p99":10},"xs":[1,2.5]}"#
+        );
+    }
+
+    #[test]
+    fn float_formatting_is_stable() {
+        assert_eq!(JsonWriter::fmt_f64(0.1 + 0.2), "0.3");
+        assert_eq!(JsonWriter::fmt_f64(1.0), "1");
+        assert_eq!(JsonWriter::fmt_f64(-0.0), "0");
+        assert_eq!(JsonWriter::fmt_f64(f64::NAN), "0");
+        assert_eq!(JsonWriter::fmt_f64(1234.567891), "1234.567891");
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let mut w = JsonWriter::new();
+        w.begin_object().str_field("k", "a\"b\\c\nd").end_object();
+        assert_eq!(w.finish(), r#"{"k":"a\"b\\c\nd"}"#);
+    }
+}

@@ -1,0 +1,169 @@
+//! `aceso-obs`: a zero-overhead-when-off observability layer.
+//!
+//! The Aceso paper's headline claims are quantitative — ~1 s index-first
+//! recovery, IOPS-bound client throughput, checkpoint and reclamation
+//! overheads — so the reproduction needs first-class instrumentation to keep
+//! those numbers honest PR over PR. This crate provides the three primitives
+//! the rest of the workspace threads through its hot paths:
+//!
+//! 1. **A metrics [`Registry`]** of named [`Counter`]s, [`Gauge`]s and
+//!    log-bucketed latency [`Histogram`]s (p50/p99/p999 from 256
+//!    power-of-two buckets with 4 linear sub-buckets per octave).
+//! 2. **Lightweight spans** ([`Histogram::start_timer`]) over client
+//!    operations (SEARCH/INSERT/UPDATE/DELETE, CAS-retry loops, degraded
+//!    search) and every tiered-recovery phase (Meta → Index → Block →
+//!    background parity).
+//! 3. **Stable snapshots**: [`Snapshot`] renders either a human text table
+//!    or a deterministic JSON document (sorted keys, fixed float
+//!    formatting) that benches persist as `BENCH_*.json` trajectories.
+//!
+//! # Zero overhead when off
+//!
+//! Instrumented code holds an [`Obs`] handle. When no recorder is
+//! installed the handle is `Obs::off()`: every accessor returns `None`
+//! before any clock is read or any name is hashed, so the instrumented
+//! hot paths compile down to a single well-predicted branch — the same
+//! shape as `aceso-rdma`'s trace-sink fast path. Call sites that run per
+//! operation pre-resolve their handles once at client creation, so even
+//! the enabled path never does a map lookup per op.
+//!
+//! # Example
+//!
+//! ```
+//! use aceso_obs::{Obs, Registry};
+//!
+//! let registry = Registry::new();
+//! let obs = Obs::on(registry.clone());
+//!
+//! // Pre-resolve handles once, outside the hot path.
+//! let searches = obs.registry().unwrap().counter("client.search.count");
+//! let lat = obs.registry().unwrap().histogram("client.search.us");
+//!
+//! // Hot path.
+//! searches.inc();
+//! lat.record(12.5);
+//!
+//! let snap = registry.snapshot();
+//! assert_eq!(snap.counter("client.search.count"), Some(1));
+//! assert!(snap.to_json().contains("\"client.search.count\""));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod hist;
+mod json;
+mod registry;
+mod snapshot;
+
+pub use hist::{HistSnapshot, HistTimer, Histogram};
+pub use json::JsonWriter;
+pub use registry::{Counter, Gauge, Registry};
+pub use snapshot::Snapshot;
+
+use std::sync::Arc;
+
+/// A cheap, cloneable handle to an optional recorder.
+///
+/// Instrumented components store one of these; the `Off` state is the
+/// default and makes every probe a no-op before any work (clock reads,
+/// name hashing) happens.
+#[derive(Clone, Default)]
+pub struct Obs {
+    registry: Option<Arc<Registry>>,
+}
+
+impl Obs {
+    /// A disabled handle: all probes are no-ops.
+    pub fn off() -> Self {
+        Obs { registry: None }
+    }
+
+    /// An enabled handle backed by `registry`.
+    pub fn on(registry: Arc<Registry>) -> Self {
+        Obs {
+            registry: Some(registry),
+        }
+    }
+
+    /// Whether a recorder is installed.
+    pub fn is_enabled(&self) -> bool {
+        self.registry.is_some()
+    }
+
+    /// The backing registry, if enabled. Call sites use this once at
+    /// setup time to pre-resolve [`Counter`]/[`Histogram`] handles.
+    pub fn registry(&self) -> Option<&Arc<Registry>> {
+        self.registry.as_ref()
+    }
+
+    /// Starts a wall-clock span that records its duration (µs) into the
+    /// histogram `name` when dropped. Returns `None` — without reading
+    /// the clock — when disabled.
+    pub fn span(&self, name: &str) -> Option<HistTimer> {
+        self.registry
+            .as_ref()
+            .map(|r| r.histogram(name).start_timer())
+    }
+
+    /// Adds `n` to counter `name` if enabled. Prefer pre-resolved
+    /// [`Counter`] handles on per-op paths; this convenience is for
+    /// rare events (recovery phases, scrub results).
+    pub fn add(&self, name: &str, n: u64) {
+        if let Some(r) = &self.registry {
+            r.counter(name).add(n);
+        }
+    }
+
+    /// Sets gauge `name` to `v` if enabled.
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        if let Some(r) = &self.registry {
+            r.gauge(name).set(v);
+        }
+    }
+
+    /// Records `us` into histogram `name` if enabled.
+    pub fn observe(&self, name: &str, us: f64) {
+        if let Some(r) = &self.registry {
+            r.histogram(name).record(us);
+        }
+    }
+}
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Obs")
+            .field("enabled", &self.is_enabled())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_handle_is_inert() {
+        let obs = Obs::off();
+        assert!(!obs.is_enabled());
+        assert!(obs.span("x").is_none());
+        obs.add("x", 1);
+        obs.gauge_set("g", 1.0);
+        obs.observe("h", 1.0);
+    }
+
+    #[test]
+    fn on_handle_records() {
+        let reg = Registry::new();
+        let obs = Obs::on(reg.clone());
+        obs.add("ops", 3);
+        obs.gauge_set("depth", 2.5);
+        obs.observe("lat.us", 40.0);
+        drop(obs.span("span.us"));
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("ops"), Some(3));
+        assert_eq!(snap.gauge("depth"), Some(2.5));
+        assert_eq!(snap.histogram("lat.us").map(|h| h.count), Some(1));
+        assert_eq!(snap.histogram("span.us").map(|h| h.count), Some(1));
+    }
+}

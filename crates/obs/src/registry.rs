@@ -1,0 +1,145 @@
+//! The named-metric registry.
+
+use crate::hist::Histogram;
+use crate::snapshot::Snapshot;
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A shareable monotonically increasing counter.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A shareable last-value-wins gauge (an `f64` stored as bits).
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    /// Sets the gauge.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// A registry of named counters, gauges and histograms.
+///
+/// Metric names are dotted paths (`client.search.us`,
+/// `recovery.index.net_bytes`); see DESIGN.md for the workspace glossary.
+/// Handle lookup takes a lock — resolve handles once at setup time and
+/// clone them into hot paths (handles are lock-free afterwards).
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl Registry {
+    /// A fresh, empty registry.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Registry::default())
+    }
+
+    /// The counter named `name`, created on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut map = self.counters.lock();
+        map.entry(name.to_string())
+            .or_insert_with(|| Counter(Arc::new(AtomicU64::new(0))))
+            .clone()
+    }
+
+    /// The gauge named `name`, created on first use (initially 0.0).
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut map = self.gauges.lock();
+        map.entry(name.to_string())
+            .or_insert_with(|| Gauge(Arc::new(AtomicU64::new(0f64.to_bits()))))
+            .clone()
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut map = self.histograms.lock();
+        map.entry(name.to_string())
+            .or_insert_with(Histogram::new)
+            .clone()
+    }
+
+    /// A point-in-time copy of every metric, ready for rendering.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot {
+            counters: self
+                .counters
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: self
+                .gauges
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: self
+                .histograms
+                .lock()
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_state() {
+        let reg = Registry::new();
+        let a = reg.counter("x");
+        let b = reg.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter("x").get(), 3);
+
+        let g = reg.gauge("g");
+        g.set(-1.25);
+        assert_eq!(reg.gauge("g").get(), -1.25);
+
+        reg.histogram("h").record(10.0);
+        assert_eq!(reg.histogram("h").snapshot().count, 1);
+    }
+
+    #[test]
+    fn snapshot_is_sorted_and_complete() {
+        let reg = Registry::new();
+        reg.counter("b").inc();
+        reg.counter("a").inc();
+        let snap = reg.snapshot();
+        let names: Vec<_> = snap.counters.keys().collect();
+        assert_eq!(names, ["a", "b"]);
+    }
+}

@@ -239,6 +239,24 @@ impl CostModel {
     /// NIC utilization capped at [`CostModel::queue_cap`]. The exponential
     /// draw is a deterministic hash of the operation index.
     pub fn latency(&self, m: &PhaseMeasurement, filter: Option<OpKind>) -> LatencyReport {
+        let lat = self.latency_samples(m, filter);
+        if lat.is_empty() {
+            return LatencyReport::default();
+        }
+        let pick = |q: f64| lat[((lat.len() - 1) as f64 * q) as usize];
+        LatencyReport {
+            mean_us: lat.iter().sum::<f64>() / lat.len() as f64,
+            p50_us: pick(0.50),
+            p99_us: pick(0.99),
+        }
+    }
+
+    /// The full modeled per-operation latency distribution behind
+    /// [`CostModel::latency`], sorted ascending, in µs. Callers wanting
+    /// percentiles beyond the standard report (e.g. p999 in `bench quick`)
+    /// index this directly; the queueing draw is a deterministic hash of
+    /// the operation index, so the samples are reproducible bit-for-bit.
+    pub fn latency_samples(&self, m: &PhaseMeasurement, filter: Option<OpKind>) -> Vec<f64> {
         let sel: Vec<(usize, &OpRecord)> = m
             .records
             .iter()
@@ -246,7 +264,7 @@ impl CostModel {
             .filter(|(_, r)| filter.is_none_or(|k| r.kind == k))
             .collect();
         if sel.is_empty() {
-            return LatencyReport::default();
+            return Vec::new();
         }
         let (_, _, util) = self.bounds(m);
         let rho = util.min(self.queue_cap);
@@ -265,12 +283,7 @@ impl CostModel {
             })
             .collect();
         lat.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        let pick = |q: f64| lat[((lat.len() - 1) as f64 * q) as usize];
-        LatencyReport {
-            mean_us: lat.iter().sum::<f64>() / lat.len() as f64,
-            p50_us: pick(0.50),
-            p99_us: pick(0.99),
-        }
+        lat
     }
 
     /// Time to move `bytes` over one NIC at full bandwidth, in seconds.
@@ -294,6 +307,7 @@ mod tests {
             read_bytes: rd,
             write_bytes: wr,
             retries: 0,
+            batch_max: 0,
         }
     }
 
@@ -402,6 +416,12 @@ mod tests {
         let b = model.report(&mk());
         assert_eq!(a.mops, b.mops);
         assert_eq!(a.latency.p99_us, b.latency.p99_us);
+        // The raw sample vector is sorted, complete, and agrees with the
+        // percentiles the report picked from it.
+        let s = model.latency_samples(&mk(), None);
+        assert_eq!(s.len(), 200);
+        assert!(s.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(s[(199.0 * 0.99) as usize], a.latency.p99_us);
     }
 
     /// Empty phases do not divide by zero.

@@ -22,6 +22,7 @@
 //! RDMA UD send/recv.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod addr;
 pub mod cluster;

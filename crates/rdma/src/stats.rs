@@ -182,6 +182,10 @@ pub struct OpRecord {
     pub write_bytes: u32,
     /// Commit retries caused by CAS conflicts.
     pub retries: u32,
+    /// Deepest doorbell batch issued by this operation (verbs in the
+    /// largest single [`crate::verbs::DmClient::batch`] section; 0 when
+    /// the op never batched). Observability surfaces this per span.
+    pub batch_max: u32,
 }
 
 /// Per-client accumulation of operation profiles for one measurement phase.
@@ -259,6 +263,7 @@ mod tests {
             read_bytes: 0,
             write_bytes: 1024,
             retries: 0,
+            batch_max: 2,
         });
         s.records.push(OpRecord {
             kind: OpKind::Update,
@@ -269,6 +274,7 @@ mod tests {
             read_bytes: 0,
             write_bytes: 1024,
             retries: 1,
+            batch_max: 2,
         });
         s.records.push(OpRecord {
             kind: OpKind::Search,
@@ -279,6 +285,7 @@ mod tests {
             read_bytes: 2048,
             write_bytes: 0,
             retries: 0,
+            batch_max: 0,
         });
         assert_eq!(s.count(OpKind::Update), 2);
         assert!((s.avg_cas(OpKind::Update) - 2.0).abs() < 1e-9);
@@ -391,6 +398,7 @@ mod tests {
                             assert_eq!(r.verbs, 3);
                             assert_eq!(r.cas, 1);
                             assert_eq!(r.write_bytes, 64 + 64 + 8);
+                            assert_eq!(r.batch_max, 2, "two writes in the doorbell batch");
                         }
                         assert!((ops.avg_cas(OpKind::Update) - 1.0).abs() < 1e-9);
                     });

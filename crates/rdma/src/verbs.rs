@@ -39,6 +39,10 @@ struct CurOp {
     retries: u32,
     batch_depth: u32,
     batch_rtt_counted: bool,
+    /// Verbs issued so far inside the current outermost batch.
+    batch_verbs: u32,
+    /// Deepest doorbell batch seen during this op.
+    batch_max: u32,
 }
 
 enum VerbClass {
@@ -212,6 +216,8 @@ impl DmClient {
                     cur.batch_rtt_counted = true;
                     cur.rtts += 1;
                 }
+                cur.batch_verbs += 1;
+                cur.batch_max = cur.batch_max.max(cur.batch_verbs);
             } else {
                 cur.rtts += 1;
             }
@@ -310,13 +316,36 @@ impl DmClient {
 
     /// Issues several verbs as one doorbell batch: they count individually
     /// against NIC IOPS but add only a single sequential round trip to the
-    /// current operation's latency profile.
+    /// current operation's latency profile. The peak batch size is kept in
+    /// the op profile ([`OpRecord::batch_max`]) for observability.
+    ///
+    /// ```
+    /// use aceso_rdma::{Cluster, ClusterConfig, CostModel, GlobalAddr, NodeId, OpKind};
+    ///
+    /// let cluster = Cluster::new(ClusterConfig {
+    ///     num_mns: 1,
+    ///     region_len: 4096,
+    ///     cost: CostModel::default(),
+    /// });
+    /// let client = cluster.client();
+    /// let base = GlobalAddr::new(NodeId(0), 0);
+    ///
+    /// client.begin_op();
+    /// client.batch(|c| {
+    ///     // One doorbell: both writes share a single round trip.
+    ///     c.write(base, &[1u8; 64]).unwrap();
+    ///     c.write(base.add(64), &[2u8; 64]).unwrap();
+    /// });
+    /// let record = client.end_op(OpKind::Update).unwrap();
+    /// assert_eq!((record.verbs, record.rtts, record.batch_max), (2, 1, 2));
+    /// ```
     pub fn batch<R>(&self, f: impl FnOnce(&Self) -> R) -> R {
         {
             let mut cur = self.cur.lock();
             cur.batch_depth += 1;
             if cur.batch_depth == 1 {
                 cur.batch_rtt_counted = false;
+                cur.batch_verbs = 0;
             }
         }
         let r = f(self);
@@ -416,11 +445,14 @@ impl DmClient {
     }
 
     /// Finishes profiling the current operation and records it as `kind`.
-    pub fn end_op(&self, kind: OpKind) {
+    /// Returns the record (also appended to [`DmClient::take_ops`]) so
+    /// instrumentation can attach verb counts and doorbell-batch depth to
+    /// the owning span; `None` if no operation was active.
+    pub fn end_op(&self, kind: OpKind) -> Option<OpRecord> {
         let rec = {
             let mut cur = self.cur.lock();
             if !cur.active {
-                return;
+                return None;
             }
             let rec = OpRecord {
                 kind,
@@ -431,11 +463,13 @@ impl DmClient {
                 read_bytes: cur.read_bytes,
                 write_bytes: cur.write_bytes,
                 retries: cur.retries,
+                batch_max: cur.batch_max,
             };
             cur.active = false;
             rec
         };
         self.ops.lock().records.push(rec);
+        Some(rec)
     }
 
     /// Abandons the current operation without recording it (failure paths).
@@ -524,6 +558,31 @@ mod tests {
         // One RTT for the batch, one per CAS.
         assert_eq!(r.rtts, 3);
         assert_eq!(r.retries, 1);
+        assert_eq!(r.batch_max, 2);
+    }
+
+    #[test]
+    fn batch_max_tracks_deepest_batch() {
+        let c = cluster();
+        let cl = c.client();
+        let a = GlobalAddr::new(NodeId(0), 0);
+        cl.begin_op();
+        cl.batch(|cl| {
+            cl.write(a, &[0u8; 8]).unwrap();
+        });
+        cl.batch(|cl| {
+            for i in 0..3u64 {
+                cl.write(a.add(64 + i * 8), &[0u8; 8]).unwrap();
+            }
+        });
+        let r = cl.end_op(OpKind::Insert).unwrap();
+        assert_eq!(r.batch_max, 3, "second batch is deepest");
+        assert_eq!(r.rtts, 2);
+
+        // No batch at all → batch_max stays 0.
+        cl.begin_op();
+        cl.write(a, &[0u8; 8]).unwrap();
+        assert_eq!(cl.end_op(OpKind::Update).unwrap().batch_max, 0);
     }
 
     #[test]

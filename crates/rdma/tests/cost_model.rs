@@ -13,6 +13,7 @@ fn rec(kind: OpKind, rtts: u32, verbs: u32, cas: u32, rd: u32, wr: u32) -> OpRec
         read_bytes: rd,
         write_bytes: wr,
         retries: 0,
+        batch_max: 0,
     }
 }
 

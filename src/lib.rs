@@ -27,5 +27,6 @@ pub use aceso_core as core;
 pub use aceso_erasure as erasure;
 pub use aceso_fusee as fusee;
 pub use aceso_index as index;
+pub use aceso_obs as obs;
 pub use aceso_rdma as rdma;
 pub use aceso_workloads as workloads;
