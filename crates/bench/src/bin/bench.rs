@@ -80,6 +80,10 @@ struct Quick {
     bottleneck: String,
     /// (kind label, p50, p99, p999) — modeled, µs.
     latency: Vec<(&'static str, f64, f64, f64)>,
+    /// (kind label, mean rtts, mean batches, mean batched verbs) per op —
+    /// the shape of the doorbell-batched pipeline, straight from the
+    /// measured [`aceso_rdma::OpRecord`]s.
+    pipeline: Vec<(&'static str, f64, f64, f64)>,
     recovery: aceso_core::RecoveryReport,
     snapshot: Snapshot,
 }
@@ -160,6 +164,30 @@ fn run_quick(seed: u64) -> Quick {
         (label, pct(&s, 0.50), pct(&s, 0.99), pct(&s, 0.999))
     })
     .collect();
+    let pipeline = [
+        ("search", OpKind::Search),
+        ("update", OpKind::Update),
+        ("insert", OpKind::Insert),
+    ]
+    .into_iter()
+    .map(|(label, kind)| {
+        let rs = m.records.iter().filter(|r| r.kind == kind);
+        let (mut n, mut rtts, mut batches, mut bverbs) = (0u32, 0u64, 0u64, 0u64);
+        for r in rs {
+            n += 1;
+            rtts += r.rtts as u64;
+            batches += r.batches as u64;
+            bverbs += r.batched_verbs as u64;
+        }
+        let d = n.max(1) as f64;
+        (
+            label,
+            rtts as f64 / d,
+            batches as f64 / d,
+            bverbs as f64 / d,
+        )
+    })
+    .collect();
 
     // One MN crash + full tiered recovery (Meta → Index → Block →
     // parity); phase spans land in the registry via the store recorder.
@@ -173,6 +201,7 @@ fn run_quick(seed: u64) -> Quick {
         mops: rep.mops,
         bottleneck: rep.bottleneck.label(),
         latency,
+        pipeline,
         recovery,
         snapshot,
     }
@@ -201,6 +230,12 @@ impl Quick {
         for (label, p50, p99, p999) in &self.latency {
             s.push_str(&format!(
                 "  latency[{label}] p50 {p50:.1} µs, p99 {p99:.1} µs, p999 {p999:.1} µs\n"
+            ));
+        }
+        for (label, rtts, batches, bverbs) in &self.pipeline {
+            s.push_str(&format!(
+                "  pipeline[{label}] mean rtts {rtts:.2}, batches {batches:.2}, \
+                 batched verbs {bverbs:.2}\n"
             ));
         }
         let r = &self.recovery;
@@ -243,6 +278,15 @@ impl Quick {
             w.f64_field("p50", *p50);
             w.f64_field("p99", *p99);
             w.f64_field("p999", *p999);
+            w.end_object();
+        }
+        w.end_object();
+        w.begin_object_key("pipeline");
+        for (label, rtts, batches, bverbs) in &self.pipeline {
+            w.begin_object_key(label);
+            w.f64_field("mean_rtts", *rtts);
+            w.f64_field("mean_batches", *batches);
+            w.f64_field("mean_batched_verbs", *bverbs);
             w.end_object();
         }
         w.end_object();

@@ -95,6 +95,7 @@ impl Phase {
             rpcs: sum.rpcs / n,
             read_bytes: sum.read_bytes / n,
             write_bytes: sum.write_bytes / n,
+            batched: sum.batched / n,
         };
         for s in &mut self.m.node_fg {
             *s = avg;

@@ -24,15 +24,22 @@ pub enum OpType {
     Delete,
     /// SEARCH of a preloaded key (read-only: no ambiguity window).
     Search,
+    /// SEARCH of a key planted with an earlier colliding-fingerprint twin
+    /// in the same bucket, run cache-cold, with the kill axis aimed at the
+    /// column holding the *twin's* KV block: the candidate scan must step
+    /// past the twin (a collision, §3.4.1) instead of misreading it as a
+    /// tombstone when its block is degraded or unreachable.
+    SearchCollide,
 }
 
 impl OpType {
     /// All operations, in protocol order.
-    pub const ALL: [OpType; 4] = [
+    pub const ALL: [OpType; 5] = [
         OpType::Insert,
         OpType::Update,
         OpType::Delete,
         OpType::Search,
+        OpType::SearchCollide,
     ];
 }
 
@@ -43,6 +50,7 @@ impl fmt::Display for OpType {
             OpType::Update => "update",
             OpType::Delete => "delete",
             OpType::Search => "search",
+            OpType::SearchCollide => "search-collide",
         })
     }
 }
@@ -273,7 +281,7 @@ mod tests {
     #[test]
     fn matrix_dimensions() {
         let m = full_matrix();
-        assert_eq!(m.len(), 4 * 12 * 5 * 2);
+        assert_eq!(m.len(), 5 * 12 * 5 * 2);
         // Cell ids are unique.
         let mut ids: Vec<String> = m.iter().map(Cell::id).collect();
         ids.sort();

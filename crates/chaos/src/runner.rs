@@ -20,11 +20,12 @@
 
 use crate::cell::{Cell, InjectionSite, KillTiming, OpType, ReclaimState};
 use aceso_core::client::CrashPoint;
+use aceso_core::config::unpack_col;
 use aceso_core::{
     recover_cn, recover_mn, recover_mn_with, scrub, AcesoClient, AcesoConfig, AcesoStore,
     ClientTuning, StoreError,
 };
-use aceso_index::route_hash;
+use aceso_index::{fingerprint, route_hash, RemoteIndex};
 use aceso_rdma::{FaultAction, FaultPlan, FaultRule, RdmaError, TraceSink};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -151,6 +152,49 @@ fn fmt_key(k: &[u8]) -> String {
     String::from_utf8_lossy(k).into_owned()
 }
 
+/// Brute-forces two keys with equal fingerprint, equal home column, and
+/// equal primary bucket group, so a SEARCH of the second must step past
+/// the first's slot in the candidate scan (a true fp collision, not a
+/// synthetic one). Coordinates already taken by preload keys are skipped,
+/// leaving the shared bucket holding exactly the two twins.
+fn collision_twins(store: &Arc<AcesoStore>) -> Result<(Vec<u8>, Vec<u8>), String> {
+    let layout = store.map.index;
+    let n = store.cfg.num_mns as u64;
+    let coord = |k: &[u8]| (fingerprint(k), route_hash(k) % n, layout.buckets_for(k)[0].0);
+    let mut seen: BTreeMap<(u8, u64, u64), Vec<u8>> = BTreeMap::new();
+    for i in 0..36 {
+        seen.insert(coord(format!("key-{i:03}").as_bytes()), Vec::new());
+    }
+    for i in 0..12 {
+        seen.insert(coord(format!("aged-{i:03}").as_bytes()), Vec::new());
+    }
+    for i in 0..100_000u32 {
+        let k = format!("twin-{i:05}").into_bytes();
+        if let Some(prev) = seen.get(&coord(&k)) {
+            if !prev.is_empty() {
+                return Ok((prev.clone(), k)); // Empty sentinel = preload coordinate.
+            }
+        } else {
+            seen.insert(coord(&k), k);
+        }
+    }
+    Err("no colliding twin pair in 100k candidates".into())
+}
+
+/// Column holding the KV block of twin `key`. The twin pair excludes
+/// preload coordinates and the earlier twin is inserted first, so the
+/// first fingerprint match in its bucket is the twin itself.
+fn twin_kv_col(store: &Arc<AcesoStore>, key: &[u8]) -> Result<usize, String> {
+    let col = (route_hash(key) % store.cfg.num_mns as u64) as usize;
+    let index = RemoteIndex::new(store.directory().node_of(col), store.map.index);
+    let dm = store.cluster.background_client();
+    let scan = index
+        .scan(&dm, key, fingerprint(key))
+        .map_err(|e| format!("twin scan: {e}"))?;
+    let slot = scan.matches.first().ok_or("twin slot missing from index")?;
+    Ok(unpack_col(slot.atomic.addr48).0)
+}
+
 fn fmt_state(s: &Option<Vec<u8>>) -> String {
     match s {
         None => "absent".into(),
@@ -230,6 +274,34 @@ fn run_cell_inner(
             preload(&mut client, &mut oracle, &mut rng, "aged", 12)?;
         }
     }
+    // Colliding-fingerprint cells plant the twin pair from a throwaway
+    // client, so the op client runs cache-cold and must walk the candidate
+    // scan past the earlier twin instead of short-circuiting on its cache.
+    let twins = if cell.op == OpType::SearchCollide {
+        let (a, b) = collision_twins(&store)?;
+        let mut planter = store.client().map_err(|e| format!("planter: {e}"))?;
+        for k in [&a, &b] {
+            let v = gen_value(&mut rng, b'A');
+            planter
+                .insert(k, &v)
+                .map_err(|e| format!("plant twin {}: {e}", fmt_key(k)))?;
+            oracle.insert(k.clone(), v);
+        }
+        // Close (= erasure-code) every open block before the checkpoint
+        // rounds: the index-tier-only window loses closed, checkpointed
+        // blocks, while open blocks — and every closed block sharing a
+        // stripe array with one — are reconstructed during the Index
+        // tier, which would leave nothing degraded to read.
+        planter
+            .close_open_blocks()
+            .map_err(|e| format!("plant close: {e}"))?;
+        client
+            .close_open_blocks()
+            .map_err(|e| format!("preload close: {e}"))?;
+        Some((a, b))
+    } else {
+        None
+    };
     store.cluster.trace_barrier();
     out.phases.setup_ms = take_ms(&mut clock);
 
@@ -247,15 +319,24 @@ fn run_cell_inner(
     out.phases.ckpt_ms = take_ms(&mut clock);
 
     // ---- Arm the cell ----------------------------------------------------
-    let op_key: Vec<u8> = match cell.op {
-        OpType::Insert => b"probe-new".to_vec(),
+    let op_key: Vec<u8> = match (cell.op, &twins) {
+        (OpType::Insert, _) => b"probe-new".to_vec(),
+        (OpType::SearchCollide, Some((_, b))) => b.clone(),
         _ => {
             let keys: Vec<&Vec<u8>> = oracle.keys().collect();
             keys[rng.gen_range(0..keys.len())].clone()
         }
     };
     let new_val = gen_value(&mut rng, b'N');
-    let home_col = (route_hash(&op_key) % n as u64) as usize;
+    // The kill axis normally aims at the op key's home column; for the
+    // collision cells it aims at the column holding the *earlier* twin's
+    // KV block, so degraded kills turn that candidate into a
+    // reconstructed read that must classify as a collision, not a
+    // tombstone.
+    let home_col = match &twins {
+        Some((a, _)) => twin_kv_col(&store, a)?,
+        None => (route_hash(&op_key) % n as u64) as usize,
+    };
     let home_node = store.directory().node_of(home_col);
 
     match cell.kill {
@@ -301,8 +382,8 @@ fn run_cell_inner(
     // WhileMetaLocked only triggers on a slot-version rollover, so those
     // cells repeat the mutation until the version wraps and the crash
     // fires (a SEARCH never takes the lock and legitimately survives).
-    let needs_rollover =
-        cell.site == InjectionSite::Client(CrashPoint::WhileMetaLocked) && cell.op != OpType::Search;
+    let needs_rollover = cell.site == InjectionSite::Client(CrashPoint::WhileMetaLocked)
+        && matches!(cell.op, OpType::Insert | OpType::Update | OpType::Delete);
     let attempts = if needs_rollover { 300 } else { 1 };
     let kill_planned = cell.kill != KillTiming::None;
 
@@ -327,7 +408,7 @@ fn run_cell_inner(
                     (client.delete(&op_key).map(|_| ()), None)
                 }
             }
-            OpType::Search => match client.search(&op_key) {
+            OpType::Search | OpType::SearchCollide => match client.search(&op_key) {
                 Ok(got) => {
                     if got != prev {
                         out.violations.push(format!(
@@ -557,6 +638,39 @@ mod tests {
         assert!(out.ok(), "{:?}", out.violations);
         assert!(out.injection_fired);
         assert!(out.client_crashed);
+    }
+
+    /// The degraded colliding-fingerprint cell (§3.4.1): the earlier
+    /// twin's block is lost (index-tier-only recovery), so its candidate
+    /// is read via reconstruction and must classify as a collision the
+    /// scan steps past — misreading it as a tombstone made the later
+    /// twin's SEARCH return "absent".
+    #[test]
+    fn degraded_collision_cell_passes() {
+        let cell = Cell {
+            op: OpType::SearchCollide,
+            site: InjectionSite::None,
+            kill: KillTiming::BeforeOpDegraded,
+            reclaim: ReclaimState::Fresh,
+        };
+        let out = run_cell(&cell, 5);
+        assert!(out.ok(), "{:?}", out.violations);
+        assert!(out.mn_killed);
+    }
+
+    /// The same twin pair with the column healthy: the collision is
+    /// classified off the direct read path.
+    #[test]
+    fn healthy_collision_cell_passes() {
+        let cell = Cell {
+            op: OpType::SearchCollide,
+            site: InjectionSite::None,
+            kill: KillTiming::None,
+            reclaim: ReclaimState::Aged,
+        };
+        let out = run_cell(&cell, 6);
+        assert!(out.ok(), "{:?}", out.violations);
+        assert!(!out.mn_killed);
     }
 
     #[test]

@@ -117,6 +117,8 @@ struct OpMetrics {
     retries: Counter,
     lat_us: Histogram,
     batch_depth: Histogram,
+    batches: Histogram,
+    batched_verbs: Counter,
 }
 
 impl OpMetrics {
@@ -129,6 +131,8 @@ impl OpMetrics {
             retries: reg.counter(&format!("client.{k}.retries")),
             lat_us: reg.histogram(&format!("client.{k}.us")),
             batch_depth: reg.histogram(&format!("client.{k}.batch_depth")),
+            batches: reg.histogram(&format!("client.{k}.batches")),
+            batched_verbs: reg.counter(&format!("client.{k}.batched_verbs")),
         }
     }
 }
@@ -158,7 +162,8 @@ impl ClientMetrics {
     }
 
     /// Attaches a completed op profile to the per-kind metrics: verb
-    /// counts, CAS count, commit retries and doorbell-batch depth.
+    /// counts, CAS count, commit retries and doorbell-batch shape (depth
+    /// of the deepest batch, batches per op, verbs that rode in one).
     fn record(&self, rec: &OpRecord) {
         let m = self.op(rec.kind);
         m.count.inc();
@@ -166,6 +171,8 @@ impl ClientMetrics {
         m.cas.add(rec.cas as u64);
         m.retries.add(rec.retries as u64);
         m.batch_depth.record(rec.batch_max as f64);
+        m.batches.record(rec.batches as f64);
+        m.batched_verbs.add(rec.batched_verbs as u64);
     }
 }
 
@@ -192,6 +199,11 @@ pub struct AcesoClient {
     bitmap_flush_every: usize,
     blocks: HashMap<u8, OpenBlock>,
     cache: HashMap<Vec<u8>, CacheEntry>,
+    /// Invalidation writes for speculation-lost KVs, deferred so they can
+    /// ride inside the next doorbell batch of the same operation instead
+    /// of paying their own round trip. Always drained before the
+    /// operation returns (see `upsert`).
+    pending_inval: Vec<(GlobalAddr, [u8; 8])>,
     pending_bits: HashMap<(usize, BlockId), Vec<u32>>,
     pending_count: usize,
     alloc_rr: usize,
@@ -226,6 +238,7 @@ impl AcesoClient {
             bitmap_flush_every,
             blocks: HashMap::new(),
             cache: HashMap::new(),
+            pending_inval: Vec::new(),
             pending_bits: HashMap::new(),
             pending_count: 0,
             alloc_rr: cli_id as usize,
@@ -428,11 +441,20 @@ impl AcesoClient {
             let value = match kv_buf {
                 Ok(buf) => match kv::decode(&buf) {
                     Some(d) if d.key == key => self.value_of(d),
-                    _ => Some(self.fetch_kv_degraded(kv_col, kv_off, len, key)?),
+                    _ => self.fetch_kv_degraded(kv_col, kv_off, len, key)?,
                 },
-                Err(_) => Some(self.fetch_kv_degraded(kv_col, kv_off, len, key)?),
+                Err(_) => self.fetch_kv_degraded(kv_col, kv_off, len, key)?,
             };
-            return Ok(Some(value.and_then(|v| v)));
+            match value {
+                Some(v) => return Ok(Some(v)),
+                None => {
+                    // The slot still points here but the bytes are not this
+                    // key's KV (collision / unreconstructable): drop the
+                    // stale entry and fall back to a full query.
+                    self.cache.remove(key);
+                    return Ok(None);
+                }
+            }
         }
         // Slot changed: chase the new pointer if it still matches this key.
         if !slot.atomic.is_empty() && slot.atomic.fp == fp {
@@ -487,8 +509,12 @@ impl AcesoClient {
                         }
                     }
                 }
-                let v = self.fetch_kv_degraded(kv_col, kv_off, len, key)?;
-                return Ok(Some(v));
+                if let Some(v) = self.fetch_kv_degraded(kv_col, kv_off, len, key)? {
+                    return Ok(Some(v));
+                }
+                // Collision on the degraded fetch: the cached address holds
+                // a different key's KV. Rescan the fresh candidates below.
+                break;
             }
         }
         self.cache.remove(key);
@@ -507,8 +533,31 @@ impl AcesoClient {
         key: &[u8],
         candidates: Vec<aceso_index::SlotRef>,
     ) -> Result<Option<Vec<u8>>> {
-        for cand in candidates {
-            if let Some(val) = self.read_and_verify(cand.atomic, cand.meta, key)? {
+        // Overlap the candidate KV reads in one doorbell batch: they are
+        // independent, so fingerprint collisions cost chained WQEs instead
+        // of extra round trips. Verification still walks candidates in
+        // bucket order, so the first verified match wins as before.
+        let mut reads: Vec<(usize, u64, usize, aceso_rdma::Result<Vec<u8>>)> =
+            Vec::with_capacity(candidates.len());
+        if candidates.len() > 1 {
+            self.dm.batch(|dm| {
+                for cand in &candidates {
+                    let (col, off) = unpack_col(cand.atomic.addr48);
+                    let hint = (cand.meta.len64.max(4) as usize) * 64;
+                    let r = dm.read_vec(self.addr(col, off), hint);
+                    reads.push((col, off, hint, r));
+                }
+            });
+        }
+        for (i, cand) in candidates.iter().enumerate() {
+            let val = match reads.get_mut(i) {
+                Some((col, off, hint, read)) => {
+                    let read = std::mem::replace(read, Ok(Vec::new()));
+                    self.classify_kv_read(read, *col, *off, *hint, key)?
+                }
+                None => self.read_and_verify(cand.atomic, cand.meta, key)?,
+            };
+            if let Some(val) = val {
                 if self.tuning.use_cache {
                     self.cache.insert(
                         key.to_vec(),
@@ -538,7 +587,29 @@ impl AcesoClient {
     ) -> Result<Option<Option<Vec<u8>>>> {
         let (col, off) = unpack_col(atomic.addr48);
         let hint = (meta.len64.max(4) as usize) * 64;
-        match self.dm.read_vec(self.addr(col, off), hint) {
+        let read = self.dm.read_vec(self.addr(col, off), hint);
+        self.classify_kv_read(read, col, off, hint, key)
+    }
+
+    /// Classifies one candidate KV read (possibly prefetched in a doorbell
+    /// batch) into the tri-state of [`Self::read_and_verify`].
+    ///
+    /// Only two situations route to the X-Code degraded reconstruct: an
+    /// unreachable node, and a slot that reads back *unwritten* (write
+    /// version 0 — a zeroed, not-yet-recovered block on a replacement MN).
+    /// Every other decode failure on a healthy node is content that simply
+    /// is not this key's live KV — a stale or colliding slot — and must be
+    /// reported as a collision (`None`) so the candidate scan continues.
+    #[allow(clippy::type_complexity)]
+    fn classify_kv_read(
+        &mut self,
+        read: aceso_rdma::Result<Vec<u8>>,
+        col: usize,
+        off: u64,
+        hint: usize,
+        key: &[u8],
+    ) -> Result<Option<Option<Vec<u8>>>> {
+        match read {
             Ok(buf) => {
                 if let Some(d) = kv::decode(&buf) {
                     if d.key != key {
@@ -549,32 +620,35 @@ impl AcesoClient {
                     }
                     return Ok(Some(self.value_of(d).and_then(|v| v)));
                 }
+                if buf.is_empty() || buf[0] == 0 {
+                    // Unwritten bytes on a reachable node: an unrecovered
+                    // block on a replacement MN → degraded read.
+                    return self.fetch_kv_degraded(col, off, hint, key);
+                }
                 // Truncated read (stale len64)? Retry with the header's own
-                // sizes if they look plausible.
-                if buf.len() >= kv::KV_HEADER {
+                // sizes, but only if the header is plausible: a valid write
+                // version, a length that really exceeds the hint, and a
+                // size class that exists. Anything else is stale/foreign
+                // content, i.e. a collision — not a degraded block.
+                if buf.len() >= kv::KV_HEADER && buf[0] <= 2 {
                     let klen = u16::from_le_bytes(buf[2..4].try_into().unwrap()) as usize;
                     let vlen = u32::from_le_bytes(buf[4..8].try_into().unwrap()) as usize;
                     let need = kv::KV_HEADER + klen + vlen + 1;
-                    if buf[0] != 0 && need > hint && need <= (u8::MAX as usize) * 64 {
-                        let class = kv::class_for(klen, vlen)?;
-                        let full = self.dm.read_vec(self.addr(col, off), class as usize * 64)?;
-                        if let Some(d) = kv::decode(&full) {
-                            if d.key == key && !d.is_invalidated() {
-                                return Ok(Some(self.value_of(d).and_then(|v| v)));
+                    if need > hint && need <= (u8::MAX as usize) * 64 {
+                        if let Ok(class) = kv::class_for(klen, vlen) {
+                            let full =
+                                self.dm.read_vec(self.addr(col, off), class as usize * 64)?;
+                            if let Some(d) = kv::decode(&full) {
+                                if d.key == key && !d.is_invalidated() {
+                                    return Ok(Some(self.value_of(d).and_then(|v| v)));
+                                }
                             }
                         }
-                        return Ok(None);
                     }
                 }
-                // Unreadable content on a reachable node: likely an
-                // unrecovered block on a replacement MN → degraded read.
-                let v = self.fetch_kv_degraded(col, off, hint, key)?;
-                Ok(Some(v))
+                Ok(None)
             }
-            Err(RdmaError::NodeUnreachable(_)) => {
-                let v = self.fetch_kv_degraded(col, off, hint, key)?;
-                Ok(Some(v))
-            }
+            Err(RdmaError::NodeUnreachable(_)) => self.fetch_kv_degraded(col, off, hint, key),
             Err(e) => Err(e.into()),
         }
     }
@@ -591,19 +665,24 @@ impl AcesoClient {
 
     /// Reconstructs the slot-range bytes of a KV whose block is unavailable,
     /// by XORing the same byte range of one parity chain (plus deltas).
+    ///
+    /// Same tri-state as [`Self::read_and_verify`]: `None` is a fingerprint
+    /// collision (the reconstructed KV belongs to a different key — keep
+    /// scanning), `Some(None)` a tombstone, `Some(Some(v))` a live value.
+    #[allow(clippy::type_complexity)]
     fn fetch_kv_degraded(
         &mut self,
         col: usize,
         off: u64,
         len: usize,
         key: &[u8],
-    ) -> Result<Option<Vec<u8>>> {
+    ) -> Result<Option<Option<Vec<u8>>>> {
         if let Some(m) = &self.metrics {
             m.degraded_reads.inc();
         }
         let buf = self.reconstruct_range(col, off, len)?;
         match kv::decode(&buf) {
-            Some(d) if d.key == key && !d.is_invalidated() => Ok(self.value_of(d).and_then(|v| v)),
+            Some(d) if d.key == key && !d.is_invalidated() => Ok(self.value_of(d)),
             _ => Ok(None),
         }
     }
@@ -689,6 +768,25 @@ impl AcesoClient {
         tombstone: bool,
         allow_insert: bool,
     ) -> Result<()> {
+        let r = self.upsert_inner(key, value, tombstone, allow_insert);
+        // Invalidations deferred by a speculation loss normally drain
+        // inside a later batch of the same op; any remainder (e.g. the op
+        // ended in NotFound before another write) goes out now. A
+        // simulated crash skips this on purpose — a dead client posts
+        // nothing, which is exactly the window recovery must tolerate.
+        if !matches!(r, Err(StoreError::Shutdown)) {
+            self.flush_invals()?;
+        }
+        r
+    }
+
+    fn upsert_inner(
+        &mut self,
+        key: &[u8],
+        value: &[u8],
+        tombstone: bool,
+        allow_insert: bool,
+    ) -> Result<()> {
         if key.is_empty() {
             return Err(StoreError::TooLarge);
         }
@@ -701,6 +799,20 @@ impl AcesoClient {
             let (_, index) = self.index_of(key);
             // Locate the slot (cache first, then scan + verify).
             let outcome = (|| -> Result<CommitOutcome> {
+                // Cache hit on a plain update: speculate and fold the slot
+                // revalidation into the write batch (one RTT saved).
+                if let Some(entry) = self.pipelined_entry(key, allow_insert) {
+                    return self.commit_update_pipelined(
+                        &index,
+                        key,
+                        value,
+                        tombstone,
+                        fp,
+                        class,
+                        allow_insert,
+                        entry,
+                    );
+                }
                 match self.locate_slot(&index, key, fp)? {
                     Located::Existing(slot_addr, atomic, meta, was_tombstone) => {
                         if was_tombstone && !allow_insert {
@@ -742,6 +854,24 @@ impl AcesoClient {
             }
         }
         Err(StoreError::RetriesExhausted)
+    }
+
+    /// Whether the next commit attempt may take the pipelined fast path:
+    /// a cached slot address whose state needs no slow-path protocol —
+    /// no tombstone revalidation (UPDATE/DELETE of a deleted key must
+    /// report `NotFound`), no version rollover, no Meta-epoch lock.
+    fn pipelined_entry(&self, key: &[u8], allow_insert: bool) -> Option<CacheEntry> {
+        if !(self.tuning.use_cache && self.tuning.cache_slot_addr) {
+            return None;
+        }
+        let e = self.cache.get(key).copied()?;
+        if e.tombstone && !allow_insert {
+            return None;
+        }
+        if e.atomic.is_empty() || e.atomic.ver == 0xFF || e.meta.is_locked() {
+            return None;
+        }
+        Some(e)
     }
 
     fn locate_slot(&mut self, index: &RemoteIndex, key: &[u8], fp: u8) -> Result<Located> {
@@ -880,8 +1010,7 @@ impl AcesoClient {
         let sv = slot_version(commit_epoch, new_ver);
 
         let place = self.alloc_slot(class)?;
-        let wv = self.write_kv(&place, sv, key, value, tombstone)?;
-        let _ = wv;
+        self.write_kv(&place, sv, key, value, tombstone, None)?;
 
         let new_atomic = SlotAtomic {
             fp,
@@ -900,7 +1029,12 @@ impl AcesoClient {
             self.maybe_crash(CrashPoint::AfterCommit)?;
         }
         if !committed {
-            self.invalidate_kv(&place)?;
+            self.defer_invalidate(&place);
+            if lock_pair.is_some() {
+                // Keep the lock bracket conservative: retire the lost KV
+                // before the unlock CAS releases the Meta epoch.
+                self.flush_invals()?;
+            }
         }
         if let Some((locked, unlocked)) = lock_pair {
             // Unlock regardless of commit outcome (Algorithm 1 line 19-20).
@@ -935,6 +1069,223 @@ impl AcesoClient {
         Ok(CommitOutcome::Done)
     }
 
+    /// Pipelined cache-hit commit (the doorbell-batched fast path).
+    ///
+    /// Instead of re-reading the slot in its own round trip before writing
+    /// (as `locate_slot` + `commit_update` do), the revalidating slot read
+    /// rides in the *same* doorbell batch as the KV + delta writes, cutting
+    /// the common-path UPDATE from three dependent round trips to two:
+    ///
+    /// 1. one batch: `slot re-read ∥ KV write ∥ delta write ×2`
+    /// 2. commit CAS on the Atomic word (the release edge — never batched)
+    ///
+    /// This is speculative: the slot version is computed from the cached
+    /// Atomic/Meta words, and the batch's fresh slot read must confirm them
+    /// *before* the CAS. When the speculation loses, the already-written KV
+    /// is retired exactly like a lost CAS race — but its invalidation is
+    /// *deferred* into the redo attempt's write batch, and the fresh slot
+    /// words the batch already fetched seed that redo directly (verify the
+    /// key, then `commit_update` on the fresh state), so a lost speculation
+    /// costs the same four round trips as the pre-pipeline stale-cache
+    /// path.
+    #[allow(clippy::too_many_arguments)]
+    fn commit_update_pipelined(
+        &mut self,
+        index: &RemoteIndex,
+        key: &[u8],
+        value: &[u8],
+        tombstone: bool,
+        fp: u8,
+        class: u8,
+        allow_insert: bool,
+        entry: CacheEntry,
+    ) -> Result<CommitOutcome> {
+        let new_ver = entry.atomic.ver.wrapping_add(1);
+        let sv = slot_version(entry.meta.epoch, new_ver);
+        let place = self.alloc_slot(class)?;
+        let slot = match self.write_kv(&place, sv, key, value, tombstone, Some((index, entry.slot_addr))) {
+            Ok(slot) => slot.expect("revalidate requested"),
+            Err(e) => {
+                // The cached slot address may name a dead or pre-recovery
+                // MN: drop it so the retry re-resolves on the slow path
+                // instead of spinning on the same unreachable node.
+                self.cache.remove(key);
+                return Err(e);
+            }
+        };
+        if slot.atomic != entry.atomic || slot.meta != entry.meta || slot.meta.is_locked() {
+            // Speculation lost: someone committed (or locked) under us.
+            self.defer_invalidate(&place);
+            self.cache.remove(key);
+            if !slot.meta.is_locked()
+                && !slot.atomic.is_empty()
+                && slot.atomic.fp == fp
+                && slot.atomic.ver != 0xFF
+            {
+                // The slot moved on but still carries our fingerprint —
+                // almost certainly a concurrent update of this very key.
+                // Redo on the fresh words without re-scanning.
+                return self.redo_pipelined(
+                    index,
+                    key,
+                    value,
+                    tombstone,
+                    fp,
+                    class,
+                    allow_insert,
+                    entry.slot_addr,
+                    slot,
+                );
+            }
+            return Ok(CommitOutcome::Retry);
+        }
+        let new_atomic = SlotAtomic {
+            fp,
+            addr48: place.packed,
+            ver: new_ver,
+        };
+        // Commit point: the same release edge as `commit_update` — the CAS
+        // publishes the batch above and must stay strictly after it.
+        let prev = index.cas_atomic(&self.dm, entry.slot_addr, entry.atomic, new_atomic)?;
+        let committed = prev == entry.atomic;
+        if committed {
+            self.maybe_crash(CrashPoint::AfterCommit)?;
+        }
+        if !committed {
+            self.defer_invalidate(&place);
+            self.cache.remove(key);
+            return Ok(CommitOutcome::Retry);
+        }
+        self.mark_obsolete(entry.atomic.addr48, entry.meta.len64);
+        let new_meta = SlotMeta {
+            len64: class,
+            epoch: entry.meta.epoch,
+        };
+        if entry.meta.len64 != class {
+            index.write_meta(&self.dm, entry.slot_addr, new_meta)?;
+        }
+        self.cache.insert(
+            key.to_vec(),
+            CacheEntry {
+                slot_addr: entry.slot_addr,
+                atomic: new_atomic,
+                meta: new_meta,
+                tombstone,
+            },
+        );
+        self.maybe_flush()?;
+        Ok(CommitOutcome::Done)
+    }
+
+    /// Second speculation after a lost one: the failed revalidation read
+    /// returned the slot's *fresh* Atomic/Meta words, which pin the next
+    /// slot version — only the commit decision (is the fresh KV really our
+    /// key, and not a tombstone?) depends on the KV bytes. So the identity
+    /// read rides in the same doorbell batch as the redo's KV + delta
+    /// writes (plus the deferred invalidation of the first loss), keeping
+    /// the whole lost-speculation path at three round trips: the lost
+    /// batch, this batch, and the commit CAS.
+    #[allow(clippy::too_many_arguments)]
+    fn redo_pipelined(
+        &mut self,
+        index: &RemoteIndex,
+        key: &[u8],
+        value: &[u8],
+        tombstone: bool,
+        fp: u8,
+        class: u8,
+        allow_insert: bool,
+        slot_addr: GlobalAddr,
+        fresh: aceso_index::SlotRef,
+    ) -> Result<CommitOutcome> {
+        let new_ver = fresh.atomic.ver.wrapping_add(1);
+        let sv = slot_version(fresh.meta.epoch, new_ver);
+        let (kv_col, kv_off) = unpack_col(fresh.atomic.addr48);
+        let hint = (fresh.meta.len64.max(4) as usize) * 64;
+        let place = self.alloc_slot(class)?;
+        let (buf, delta) = Self::encode_kv(&place, sv, key, value, tombstone);
+
+        self.maybe_crash(CrashPoint::BeforeKvWrite)?;
+        let crash = self.crash_point;
+        let invals = std::mem::take(&mut self.pending_inval);
+        let mut kv_read: aceso_rdma::Result<Vec<u8>> = Ok(Vec::new());
+        let mut res: Result<()> = Ok(());
+        self.dm.batch(|dm| {
+            res = (|| -> Result<()> {
+                kv_read = dm.read_vec(self.addr(kv_col, kv_off), hint);
+                for (addr, bytes) in &invals {
+                    dm.write_inline(*addr, bytes)?;
+                }
+                dm.write(self.addr(place.col, place.kv_off), &buf)?;
+                if crash == Some(CrashPoint::AfterKvWrite) {
+                    return Err(StoreError::Shutdown);
+                }
+                for (dcol, doff) in place.deltas {
+                    dm.write(self.addr(dcol, doff), &delta)?;
+                }
+                if crash == Some(CrashPoint::BeforeCommit) {
+                    return Err(StoreError::Shutdown);
+                }
+                Ok(())
+            })();
+        });
+        res?;
+
+        let identity = kv_read
+            .ok()
+            .and_then(|b| kv::decode(&b).map(|d| (d.key == key, d.tombstone, d.is_invalidated())));
+        match identity {
+            Some((true, tomb, false)) => {
+                if tomb && !allow_insert {
+                    // Concurrent delete won: surface it, retire our bytes.
+                    self.defer_invalidate(&place);
+                    self.flush_invals()?;
+                    return Err(StoreError::NotFound);
+                }
+            }
+            _ => {
+                // Collision, invalidated KV, or unreadable bytes: back off
+                // to the slow path, which verifies via reconstruction.
+                self.defer_invalidate(&place);
+                return Ok(CommitOutcome::Retry);
+            }
+        }
+
+        let new_atomic = SlotAtomic {
+            fp,
+            addr48: place.packed,
+            ver: new_ver,
+        };
+        // Commit point: release edge after the write batch, as always.
+        let prev = index.cas_atomic(&self.dm, slot_addr, fresh.atomic, new_atomic)?;
+        if prev != fresh.atomic {
+            self.defer_invalidate(&place);
+            return Ok(CommitOutcome::Retry);
+        }
+        self.maybe_crash(CrashPoint::AfterCommit)?;
+        self.mark_obsolete(fresh.atomic.addr48, fresh.meta.len64);
+        let new_meta = SlotMeta {
+            len64: class,
+            epoch: fresh.meta.epoch,
+        };
+        if fresh.meta.len64 != class {
+            index.write_meta(&self.dm, slot_addr, new_meta)?;
+        }
+        if self.tuning.use_cache {
+            self.cache.insert(
+                key.to_vec(),
+                CacheEntry {
+                    slot_addr,
+                    atomic: new_atomic,
+                    meta: new_meta,
+                    tombstone,
+                },
+            );
+        }
+        self.maybe_flush()?;
+        Ok(CommitOutcome::Done)
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn commit_insert(
         &mut self,
@@ -948,7 +1299,7 @@ impl AcesoClient {
     ) -> Result<CommitOutcome> {
         let sv = slot_version(0, 1);
         let place = self.alloc_slot(class)?;
-        self.write_kv(&place, sv, key, value, tombstone)?;
+        self.write_kv(&place, sv, key, value, tombstone, None)?;
         let new_atomic = SlotAtomic {
             fp,
             addr48: place.packed,
@@ -958,7 +1309,7 @@ impl AcesoClient {
         // (same ordering obligation as the update commit CAS above).
         let prev = index.cas_atomic(&self.dm, target, SlotAtomic::default(), new_atomic)?;
         if !prev.is_empty() {
-            self.invalidate_kv(&place)?;
+            self.defer_invalidate(&place);
             return Ok(CommitOutcome::Retry);
         }
         self.maybe_crash(CrashPoint::AfterCommit)?;
@@ -983,7 +1334,14 @@ impl AcesoClient {
     }
 
     /// Writes the KV slot and both delta slots in one doorbell batch.
-    /// Returns the write version used.
+    ///
+    /// With `revalidate`, the slot's Atomic/Meta words are re-read as the
+    /// *first* verb of the same batch (the pipelined cache-hit commit,
+    /// §3.5.1): the read is independent of the writes, so the whole group
+    /// costs one round trip. If that read fails, the writes are skipped,
+    /// the still-clean slot is handed back to the open block, and the read
+    /// error propagates. The commit CAS stays strictly after this batch in
+    /// every caller — it is the release edge that publishes these bytes.
     fn write_kv(
         &mut self,
         place: &SlotPlace,
@@ -991,23 +1349,31 @@ impl AcesoClient {
         key: &[u8],
         value: &[u8],
         tombstone: bool,
-    ) -> Result<u8> {
-        let old: &[u8] = place.old_slot.as_deref().unwrap_or(&[]);
-        let old_wv = if old.is_empty() { 0 } else { old[0] };
-        let wv = kv::next_write_version(old_wv);
-
-        let mut buf = vec![0u8; place.slot_bytes];
-        kv::encode(&mut buf, wv, sv, key, value, tombstone);
-        let mut delta = buf.clone();
-        if !old.is_empty() {
-            xor_into(&mut delta, old);
-        }
-
+        revalidate: Option<(&RemoteIndex, GlobalAddr)>,
+    ) -> Result<Option<aceso_index::SlotRef>> {
+        let (buf, delta) = Self::encode_kv(place, sv, key, value, tombstone);
         self.maybe_crash(CrashPoint::BeforeKvWrite)?;
         let crash = self.crash_point;
+        // Deferred invalidations of earlier speculation losses ride in
+        // this batch (independent inline writes, no extra round trip).
+        let invals = std::mem::take(&mut self.pending_inval);
+        let mut slot_read: Option<aceso_rdma::Result<aceso_index::SlotRef>> = None;
         let mut res: Result<()> = Ok(());
         self.dm.batch(|dm| {
             res = (|| -> Result<()> {
+                if let Some((index, addr)) = revalidate {
+                    let r = index.read_slot(dm, addr);
+                    let failed = r.is_err();
+                    slot_read = Some(r);
+                    if failed {
+                        // Skip the writes: the slot stays unwritten so the
+                        // caller can return it to the open block.
+                        return Ok(());
+                    }
+                }
+                for (addr, bytes) in &invals {
+                    dm.write_inline(*addr, bytes)?;
+                }
                 dm.write(self.addr(place.col, place.kv_off), &buf)?;
                 if crash == Some(CrashPoint::AfterKvWrite) {
                     return Err(StoreError::Shutdown);
@@ -1021,13 +1387,63 @@ impl AcesoClient {
                 Ok(())
             })();
         });
+        if let Some(Err(_)) = &slot_read {
+            // Writes were skipped, so the queued invalidations did not go
+            // out either: requeue them for the retry's batch.
+            self.pending_inval = invals;
+        }
         res?;
-        Ok(wv)
+        match slot_read {
+            Some(Ok(slot)) => Ok(Some(slot)),
+            Some(Err(e)) => {
+                self.unalloc_slot(place);
+                Err(e.into())
+            }
+            None => Ok(None),
+        }
     }
 
-    /// Invalidates a lost-race KV: Slot Version ← −1, with matching delta
-    /// fix-ups so parity linearity is preserved (3 inline writes, 1 batch).
-    fn invalidate_kv(&mut self, place: &SlotPlace) -> Result<()> {
+    /// Encodes the slot image and its XOR delta against the slot's old
+    /// contents (shared by every write batch).
+    fn encode_kv(
+        place: &SlotPlace,
+        sv: u64,
+        key: &[u8],
+        value: &[u8],
+        tombstone: bool,
+    ) -> (Vec<u8>, Vec<u8>) {
+        let old: &[u8] = place.old_slot.as_deref().unwrap_or(&[]);
+        let old_wv = if old.is_empty() { 0 } else { old[0] };
+        let wv = kv::next_write_version(old_wv);
+        let mut buf = vec![0u8; place.slot_bytes];
+        kv::encode(&mut buf, wv, sv, key, value, tombstone);
+        let mut delta = buf.clone();
+        if !old.is_empty() {
+            xor_into(&mut delta, old);
+        }
+        (buf, delta)
+    }
+
+    /// Returns a just-allocated, never-written slot to its open block (the
+    /// pipelined revalidation read failed before any write was posted).
+    fn unalloc_slot(&mut self, place: &SlotPlace) {
+        let class = (place.slot_bytes / 64) as u8;
+        if let Some(ob) = self.blocks.get_mut(&class) {
+            if ob.block == place.block && ob.next > 0 {
+                let prev = ob.fill_order[ob.next - 1] as u64;
+                if ob.block_off + prev * ob.slot_bytes as u64 == place.kv_off {
+                    ob.next -= 1;
+                }
+            }
+        }
+    }
+
+    /// Queues the invalidation of a lost-race KV — Slot Version ← −1 with
+    /// matching delta fix-ups so parity linearity is preserved — without
+    /// posting it: the next doorbell batch of this operation carries the
+    /// three inline writes for free (`write_kv` and `redo_pipelined` drain
+    /// the queue), and `upsert` flushes any remainder before returning.
+    fn defer_invalidate(&mut self, place: &SlotPlace) {
         let old8: [u8; 8] = match &place.old_slot {
             Some(old) => old[SLOT_VER_OFF..SLOT_VER_OFF + 8].try_into().unwrap(),
             None => [0u8; 8],
@@ -1037,20 +1453,12 @@ impl AcesoClient {
         for (d, o) in delta8.iter_mut().zip(old8) {
             *d ^= o;
         }
-        let mut res: Result<()> = Ok(());
-        self.dm.batch(|dm| {
-            res = (|| -> Result<()> {
-                dm.write_inline(
-                    self.addr(place.col, place.kv_off + SLOT_VER_OFF as u64),
-                    &inval,
-                )?;
-                for (dcol, doff) in place.deltas {
-                    dm.write_inline(self.addr(dcol, doff + SLOT_VER_OFF as u64), &delta8)?;
-                }
-                Ok(())
-            })();
-        });
-        res?;
+        self.pending_inval
+            .push((self.addr(place.col, place.kv_off + SLOT_VER_OFF as u64), inval));
+        for (dcol, doff) in place.deltas {
+            self.pending_inval
+                .push((self.addr(dcol, doff + SLOT_VER_OFF as u64), delta8));
+        }
         // The slot is consumed but worthless: reclaimable immediately.
         let slot_idx = self.slot_index_in_block(place);
         self.pending_bits
@@ -1058,7 +1466,24 @@ impl AcesoClient {
             .or_default()
             .push(slot_idx);
         self.pending_count += 1;
-        Ok(())
+    }
+
+    /// Posts any still-queued invalidation writes in one doorbell batch.
+    fn flush_invals(&mut self) -> Result<()> {
+        if self.pending_inval.is_empty() {
+            return Ok(());
+        }
+        let writes = std::mem::take(&mut self.pending_inval);
+        let mut res: Result<()> = Ok(());
+        self.dm.batch(|dm| {
+            res = (|| -> Result<()> {
+                for (addr, bytes) in &writes {
+                    dm.write_inline(*addr, bytes)?;
+                }
+                Ok(())
+            })();
+        });
+        res
     }
 
     fn slot_index_in_block(&self, place: &SlotPlace) -> u32 {

@@ -60,6 +60,109 @@ fn meta_lock_break_after_holder_crash() {
     store.shutdown();
 }
 
+/// A holder killed *at* `CrashPoint::WhileMetaLocked` (mid-rollover, lock
+/// taken, nothing written yet) leaves the Meta at an odd epoch; a second
+/// client must spin out its 50-read budget, break the lock by re-locking
+/// at the next odd epoch, and release it even (§3.2.2 remark 2).
+#[test]
+fn lock_break_after_holder_killed_while_locked() {
+    use aceso_index::{fingerprint, RemoteIndex};
+
+    let store = small();
+    let key = b"lb-rollover";
+    let mut a = store.client().unwrap();
+    a.insert(key, b"v0").unwrap();
+
+    let col = (aceso_index::route_hash(key) % 5) as usize;
+    let index = RemoteIndex::new(store.directory().node_of(col), store.map.index);
+    let dm = store.cluster.background_client();
+    let slot_addr = {
+        let scan = index.scan(&dm, key, fingerprint(key)).unwrap();
+        scan.matches[0].addr
+    };
+
+    // Drive the slot version to 0xFF so the next mutation takes the
+    // rollover lock (Algorithm 1 lines 7–13).
+    loop {
+        let s = index.read_slot(&dm, slot_addr).unwrap();
+        if s.atomic.ver == 0xFF {
+            break;
+        }
+        a.update(key, b"spin").unwrap();
+    }
+
+    a.crash_point = Some(CrashPoint::WhileMetaLocked);
+    assert!(a.update(key, b"torn").is_err());
+    drop(a);
+    let locked = index.read_slot(&dm, slot_addr).unwrap().meta;
+    assert!(locked.is_locked(), "holder died without the lock: {locked:?}");
+    assert_eq!(locked.epoch % 2, 1);
+
+    // The second client breaks the abandoned lock and commits.
+    let mut b = store.client().unwrap();
+    b.update(key, b"vb").unwrap();
+    let after = index.read_slot(&dm, slot_addr).unwrap().meta;
+    assert!(!after.is_locked(), "meta left locked: {after:?}");
+    // Break path parity: re-lock at locked+2 (odd), unlock at +1 (even).
+    assert_eq!(after.epoch, locked.epoch + 3);
+    assert_eq!(after.epoch % 2, 0);
+    assert_eq!(b.search(key).unwrap().as_deref(), Some(&b"vb"[..]));
+    store.shutdown();
+}
+
+/// A holder killed between its rollover lock and commit CAS leaves an
+/// *in-flight* KV behind the abandoned lock. The lock-breaker's commit
+/// wins the slot; CN recovery of the dead holder must invalidate the
+/// torn KV, never resurrect it.
+#[test]
+fn broken_holder_torn_kv_not_resurrected() {
+    use aceso_index::{fingerprint, RemoteIndex};
+
+    let store = small();
+    let key = b"lb-torn";
+    let mut a = store.client().unwrap();
+    a.insert(key, b"v0").unwrap();
+
+    let col = (aceso_index::route_hash(key) % 5) as usize;
+    let index = RemoteIndex::new(store.directory().node_of(col), store.map.index);
+    let dm = store.cluster.background_client();
+    let slot_addr = {
+        let scan = index.scan(&dm, key, fingerprint(key)).unwrap();
+        scan.matches[0].addr
+    };
+    loop {
+        let s = index.read_slot(&dm, slot_addr).unwrap();
+        if s.atomic.ver == 0xFF {
+            break;
+        }
+        a.update(key, b"spin").unwrap();
+    }
+
+    // Crash after the KV write but before the commit CAS: the lock is
+    // held AND a torn KV exists in the Block Area.
+    a.crash_point = Some(CrashPoint::BeforeCommit);
+    assert!(a.update(key, b"torn").is_err());
+    let aid = a.id();
+    drop(a);
+    let locked = index.read_slot(&dm, slot_addr).unwrap().meta;
+    assert!(locked.is_locked(), "holder died without the lock: {locked:?}");
+
+    let mut b = store.client().unwrap();
+    b.update(key, b"vb").unwrap();
+    let after = index.read_slot(&dm, slot_addr).unwrap().meta;
+    assert!(!after.is_locked());
+    assert_eq!(after.epoch, locked.epoch + 3);
+
+    // Revive the holder: recovery must retire the torn KV (Slot Version
+    // invalidation), leaving the breaker's value in place.
+    let mut revived = store.client_with_id(aid);
+    recover_cn(&store, &mut revived).unwrap();
+    assert_eq!(revived.search(key).unwrap().as_deref(), Some(&b"vb"[..]));
+    let mut fresh = store.client().unwrap();
+    assert_eq!(fresh.search(key).unwrap().as_deref(), Some(&b"vb"[..]));
+    store.shutdown();
+}
+
 /// Mixed crash (§3.4.3): a client dies mid-write AND an MN dies; recovery
 /// restores client consistency first, then the MN.
 #[test]

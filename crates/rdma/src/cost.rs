@@ -50,6 +50,16 @@ pub struct CostModel {
     /// clients cannot build unbounded queues, so waiting time is evaluated
     /// at `min(utilization, queue_cap)`.
     pub queue_cap: f64,
+    /// Per-WQE posting overhead inside a doorbell batch, in microseconds.
+    /// Verbs chained behind the first WQE of a batch skip the full round
+    /// trip but still pay this SQ-processing cost, so batch latency grows
+    /// gently with depth instead of staying flat.
+    pub post_us: f64,
+    /// IOPS cost of a doorbell-batched verb relative to a singly-posted
+    /// one (0..=1). One doorbell rings for the whole chain, so the NIC
+    /// amortizes descriptor fetch across the batch; 1.0 disables the
+    /// discount.
+    pub batched_verb_cost: f64,
 }
 
 impl Default for CostModel {
@@ -62,6 +72,8 @@ impl Default for CostModel {
             node_atomic_iops: 2.6e6,
             client_pipeline: 4.0,
             queue_cap: 0.85,
+            post_us: 0.15,
+            batched_verb_cost: 0.6,
         }
     }
 }
@@ -152,9 +164,23 @@ fn unit(x: u64) -> f64 {
 
 impl CostModel {
     /// Base (uncontended) latency of one profiled operation in µs.
+    ///
+    /// A doorbell batch counts one round trip; every WQE chained behind the
+    /// first adds [`CostModel::post_us`] of SQ processing on top.
     fn base_latency_us(&self, r: &OpRecord) -> f64 {
         let transfer = (r.read_bytes as f64 + r.write_bytes as f64) / self.node_bw * 1e6;
-        r.rtts as f64 * self.rtt_us + r.rpcs as f64 * self.rpc_rtt_us + transfer
+        let chained = r.batched_verbs.saturating_sub(r.batches) as f64;
+        r.rtts as f64 * self.rtt_us
+            + r.rpcs as f64 * self.rpc_rtt_us
+            + chained * self.post_us
+            + transfer
+    }
+
+    /// Small-verb demand with the doorbell discount applied: batched verbs
+    /// cost [`CostModel::batched_verb_cost`] of a singly-posted one.
+    fn effective_verbs(&self, d: &VerbSnapshot) -> f64 {
+        let batched = d.batched.min(d.verbs()) as f64;
+        d.verbs() as f64 - batched * (1.0 - self.batched_verb_cost)
     }
 
     /// Computes throughput bounds and picks the tightest.
@@ -164,7 +190,7 @@ impl CostModel {
         let mut which = Bottleneck::ClientRtt;
 
         for (i, d) in m.node_fg.iter().enumerate() {
-            let verbs_per_op = d.verbs() as f64 / ops;
+            let verbs_per_op = self.effective_verbs(d) / ops;
             let atomics_per_op = (d.cas + d.faa) as f64 / ops;
             let bytes_per_op = d.bytes() as f64 / ops;
             let bg = m.bg_bytes_per_sec.get(i).copied().unwrap_or(0.0);
@@ -213,7 +239,7 @@ impl CostModel {
         let mut util: f64 = 0.0;
         for (i, d) in m.node_fg.iter().enumerate() {
             let bg = m.bg_bytes_per_sec.get(i).copied().unwrap_or(0.0);
-            let u_iops = best * (d.verbs() as f64 / ops) / self.node_iops;
+            let u_iops = best * (self.effective_verbs(d) / ops) / self.node_iops;
             let u_atom = best * ((d.cas + d.faa) as f64 / ops) / self.node_atomic_iops;
             let u_bw = (best * (d.bytes() as f64 / ops) + bg) / self.node_bw;
             util = util.max(u_iops).max(u_atom).max(u_bw);
@@ -308,6 +334,8 @@ mod tests {
             write_bytes: wr,
             retries: 0,
             batch_max: 0,
+            batches: 0,
+            batched_verbs: 0,
         }
     }
 
@@ -320,6 +348,7 @@ mod tests {
             rpcs: 0,
             read_bytes: rd_b,
             write_bytes: wr_b,
+            batched: 0,
         }
     }
 
@@ -422,6 +451,45 @@ mod tests {
         assert_eq!(s.len(), 200);
         assert!(s.windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(s[(199.0 * 0.99) as usize], a.latency.p99_us);
+    }
+
+    /// Coalescing dependent writes into a doorbell batch must lower modeled
+    /// latency (fewer sequential round trips, small per-post tax) and relax
+    /// an IOPS-bound phase (batched verbs cost less than singly-posted ones).
+    #[test]
+    fn doorbell_batching_cuts_latency_and_iops_demand() {
+        let model = CostModel::default();
+        // Serial schedule: 3 dependent small writes, 3 RTTs, nothing batched.
+        let serial = |_: u64| rec(OpKind::Update, 3, 0, 0, 192);
+        // Batched schedule: the same 3 writes in one doorbell, 1 RTT.
+        let batched = |_: u64| OpRecord {
+            batches: 1,
+            batched_verbs: 3,
+            batch_max: 3,
+            ..rec(OpKind::Update, 1, 0, 0, 192)
+        };
+        let mk = |f: &dyn Fn(u64) -> OpRecord, batched_demand: u64| PhaseMeasurement {
+            n_clients: 200,
+            node_fg: vec![VerbSnapshot {
+                batched: batched_demand,
+                ..demand(0, 3000, 0, 0, 192_000)
+            }],
+            bg_bytes_per_sec: vec![0.0],
+            records: (0..1000).map(f).collect(),
+        };
+        let s = mk(&serial, 0);
+        let b = mk(&batched, 3000);
+        let ls = model.latency(&s, None);
+        let lb = model.latency(&b, None);
+        assert!(lb.p50_us < ls.p50_us, "{} vs {}", lb.p50_us, ls.p50_us);
+        assert!(lb.p99_us < ls.p99_us, "{} vs {}", lb.p99_us, ls.p99_us);
+        // The chained WQEs still cost something: deeper than 1 RTT flat.
+        let one = mk(&|_| rec(OpKind::Update, 1, 0, 0, 1024), 0);
+        assert!(model.latency(&one, None).p50_us < lb.p50_us);
+        // Effective IOPS demand shrinks by the batched-verb discount.
+        let rs = model.report(&s);
+        let rb = model.report(&b);
+        assert!(rb.mops > rs.mops, "{} vs {}", rb.mops, rs.mops);
     }
 
     /// Empty phases do not divide by zero.

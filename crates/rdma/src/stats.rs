@@ -64,6 +64,10 @@ pub struct VerbCounters {
     pub read_bytes: AtomicU64,
     /// Bytes moved client→node (including RPC payloads).
     pub write_bytes: AtomicU64,
+    /// Of the small verbs (reads + writes + faa), how many were posted
+    /// inside a doorbell batch. Batched WQEs amortize posting overhead, so
+    /// the cost model charges them a discounted IOPS cost.
+    pub batched: AtomicU64,
 }
 
 impl VerbCounters {
@@ -82,6 +86,7 @@ impl VerbCounters {
             &self.rpcs,
             &self.read_bytes,
             &self.write_bytes,
+            &self.batched,
         ] {
             c.store(0, Ordering::Relaxed);
         }
@@ -97,6 +102,7 @@ impl VerbCounters {
             rpcs: self.rpcs.load(Ordering::Relaxed),
             read_bytes: self.read_bytes.load(Ordering::Relaxed),
             write_bytes: self.write_bytes.load(Ordering::Relaxed),
+            batched: self.batched.load(Ordering::Relaxed),
         }
     }
 }
@@ -118,6 +124,8 @@ pub struct VerbSnapshot {
     pub read_bytes: u64,
     /// Bytes moved client→node.
     pub write_bytes: u64,
+    /// Small verbs (reads + writes + faa) posted inside a doorbell batch.
+    pub batched: u64,
 }
 
 impl VerbSnapshot {
@@ -142,6 +150,7 @@ impl VerbSnapshot {
             rpcs: self.rpcs - earlier.rpcs,
             read_bytes: self.read_bytes - earlier.read_bytes,
             write_bytes: self.write_bytes - earlier.write_bytes,
+            batched: self.batched - earlier.batched,
         }
     }
 
@@ -155,6 +164,7 @@ impl VerbSnapshot {
             rpcs: self.rpcs + other.rpcs,
             read_bytes: self.read_bytes + other.read_bytes,
             write_bytes: self.write_bytes + other.write_bytes,
+            batched: self.batched + other.batched,
         }
     }
 }
@@ -186,6 +196,13 @@ pub struct OpRecord {
     /// largest single [`crate::verbs::DmClient::batch`] section; 0 when
     /// the op never batched). Observability surfaces this per span.
     pub batch_max: u32,
+    /// Number of doorbell batches this operation posted (each contributes
+    /// exactly one sequential round trip regardless of its verb count).
+    pub batches: u32,
+    /// Total verbs posted inside those batches. Together with `batches`,
+    /// this lets the cost model charge chained WQEs a per-post overhead
+    /// instead of a full round trip each.
+    pub batched_verbs: u32,
 }
 
 /// Per-client accumulation of operation profiles for one measurement phase.
@@ -264,6 +281,8 @@ mod tests {
             write_bytes: 1024,
             retries: 0,
             batch_max: 2,
+            batches: 1,
+            batched_verbs: 2,
         });
         s.records.push(OpRecord {
             kind: OpKind::Update,
@@ -275,6 +294,8 @@ mod tests {
             write_bytes: 1024,
             retries: 1,
             batch_max: 2,
+            batches: 1,
+            batched_verbs: 2,
         });
         s.records.push(OpRecord {
             kind: OpKind::Search,
@@ -286,6 +307,8 @@ mod tests {
             write_bytes: 0,
             retries: 0,
             batch_max: 0,
+            batches: 0,
+            batched_verbs: 0,
         });
         assert_eq!(s.count(OpKind::Update), 2);
         assert!((s.avg_cas(OpKind::Update) - 2.0).abs() < 1e-9);
@@ -399,6 +422,7 @@ mod tests {
                             assert_eq!(r.cas, 1);
                             assert_eq!(r.write_bytes, 64 + 64 + 8);
                             assert_eq!(r.batch_max, 2, "two writes in the doorbell batch");
+                            assert_eq!((r.batches, r.batched_verbs), (1, 2));
                         }
                         assert!((ops.avg_cas(OpKind::Update) - 1.0).abs() < 1e-9);
                     });

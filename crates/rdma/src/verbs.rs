@@ -43,6 +43,10 @@ struct CurOp {
     batch_verbs: u32,
     /// Deepest doorbell batch seen during this op.
     batch_max: u32,
+    /// Doorbell batches that posted at least one verb.
+    batches: u32,
+    /// Total verbs posted inside batches during this op.
+    batched_total: u32,
 }
 
 enum VerbClass {
@@ -188,6 +192,36 @@ impl DmClient {
     }
 
     fn account(&self, node: &MemoryNode, class: VerbClass, rd: usize, wr: usize) {
+        // CAS stays out of the doorbell discount: the commit CAS is the
+        // ordered release edge and never rides inside a batch.
+        let batchable = !matches!(class, VerbClass::Cas);
+        let in_batch = {
+            let mut cur = self.cur.lock();
+            let in_batch = cur.batch_depth > 0;
+            if cur.active {
+                cur.verbs += 1;
+                if matches!(class, VerbClass::Cas) {
+                    cur.cas += 1;
+                }
+                cur.read_bytes = cur.read_bytes.saturating_add(rd as u32);
+                cur.write_bytes = cur.write_bytes.saturating_add(wr as u32);
+                if in_batch {
+                    if !cur.batch_rtt_counted {
+                        cur.batch_rtt_counted = true;
+                        cur.rtts += 1;
+                        cur.batches += 1;
+                    }
+                    cur.batch_verbs += 1;
+                    cur.batch_max = cur.batch_max.max(cur.batch_verbs);
+                    if batchable {
+                        cur.batched_total += 1;
+                    }
+                } else {
+                    cur.rtts += 1;
+                }
+            }
+            in_batch
+        };
         let node_ctr = if self.background {
             &node.background
         } else {
@@ -202,24 +236,8 @@ impl DmClient {
             };
             ctr.read_bytes.fetch_add(rd as u64, Ordering::Relaxed);
             ctr.write_bytes.fetch_add(wr as u64, Ordering::Relaxed);
-        }
-        let mut cur = self.cur.lock();
-        if cur.active {
-            cur.verbs += 1;
-            if matches!(class, VerbClass::Cas) {
-                cur.cas += 1;
-            }
-            cur.read_bytes = cur.read_bytes.saturating_add(rd as u32);
-            cur.write_bytes = cur.write_bytes.saturating_add(wr as u32);
-            if cur.batch_depth > 0 {
-                if !cur.batch_rtt_counted {
-                    cur.batch_rtt_counted = true;
-                    cur.rtts += 1;
-                }
-                cur.batch_verbs += 1;
-                cur.batch_max = cur.batch_max.max(cur.batch_verbs);
-            } else {
-                cur.rtts += 1;
+            if in_batch && batchable {
+                ctr.batched.fetch_add(1, Ordering::Relaxed);
             }
         }
     }
@@ -338,6 +356,7 @@ impl DmClient {
     /// });
     /// let record = client.end_op(OpKind::Update).unwrap();
     /// assert_eq!((record.verbs, record.rtts, record.batch_max), (2, 1, 2));
+    /// assert_eq!((record.batches, record.batched_verbs), (1, 2));
     /// ```
     pub fn batch<R>(&self, f: impl FnOnce(&Self) -> R) -> R {
         {
@@ -464,6 +483,8 @@ impl DmClient {
                 write_bytes: cur.write_bytes,
                 retries: cur.retries,
                 batch_max: cur.batch_max,
+                batches: cur.batches,
+                batched_verbs: cur.batched_total,
             };
             cur.active = false;
             rec
@@ -559,6 +580,8 @@ mod tests {
         assert_eq!(r.rtts, 3);
         assert_eq!(r.retries, 1);
         assert_eq!(r.batch_max, 2);
+        // The two batched writes share one posting; the CASes stay unbatched.
+        assert_eq!((r.batches, r.batched_verbs), (1, 2));
     }
 
     #[test]
@@ -578,11 +601,14 @@ mod tests {
         let r = cl.end_op(OpKind::Insert).unwrap();
         assert_eq!(r.batch_max, 3, "second batch is deepest");
         assert_eq!(r.rtts, 2);
+        assert_eq!((r.batches, r.batched_verbs), (2, 4));
+        assert_eq!(cl.counters().snapshot().batched, 4);
 
         // No batch at all → batch_max stays 0.
         cl.begin_op();
         cl.write(a, &[0u8; 8]).unwrap();
-        assert_eq!(cl.end_op(OpKind::Update).unwrap().batch_max, 0);
+        let r = cl.end_op(OpKind::Update).unwrap();
+        assert_eq!((r.batch_max, r.batches, r.batched_verbs), (0, 0, 0));
     }
 
     #[test]

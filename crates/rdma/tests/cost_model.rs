@@ -14,6 +14,8 @@ fn rec(kind: OpKind, rtts: u32, verbs: u32, cas: u32, rd: u32, wr: u32) -> OpRec
         write_bytes: wr,
         retries: 0,
         batch_max: 0,
+        batches: 0,
+        batched_verbs: 0,
     }
 }
 
@@ -32,6 +34,7 @@ fn snapshot(
         rpcs: 0,
         read_bytes: rd_b,
         write_bytes: wr_b,
+        batched: 0,
     }
 }
 
