@@ -15,8 +15,9 @@
 //! produce byte-identical files — CI diffs them.
 
 use aceso_core::{recover_mn, AcesoConfig, AcesoStore};
-use aceso_obs::{JsonWriter, Registry, Snapshot};
-use aceso_rdma::{OpKind, PhaseMeasurement};
+use aceso_obs::{JsonWriter, Obs, Registry, Snapshot};
+use aceso_rdma::{OpKind, PhaseMeasurement, SimCq};
+use aceso_rt::Executor;
 use aceso_workloads::ycsb::YcsbKind;
 use aceso_workloads::{value_for, Op, YcsbWorkload};
 use std::sync::Arc;
@@ -31,6 +32,10 @@ const SIM_CLIENTS: usize = 184;
 /// Column whose MN is crashed and recovered.
 const KILL_COL: usize = 1;
 const DEFAULT_SEED: u64 = 0xace50;
+/// Coroutine tasks in the quick run's pipelined slice.
+const RT_TASKS: usize = 8;
+/// Ops each of those tasks issues.
+const RT_OPS_PER_TASK: usize = 50;
 
 fn usage() -> ! {
     eprintln!(
@@ -38,23 +43,31 @@ fn usage() -> ! {
          \n\
          Runs the deterministic YCSB-A slice + one MN-crash recovery.\n\
          --json writes BENCH_PR4.json (byte-identical across runs of the\n\
-         same seed); --out overrides the output path."
+         same seed); --out overrides the output path.\n\
+         \n\
+         usage: bench clients [--seed <hex>] [--out <path>]\n\
+         \n\
+         Sweeps coroutine clients per OS thread (doubling from 1) until\n\
+         the modeled NIC binds; writes the table to results/clients.txt\n\
+         (or --out)."
     );
     std::process::exit(2);
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    if args.first().map(String::as_str) != Some("quick") {
-        usage();
-    }
+    let cmd = args.first().map(String::as_str);
     let mut json = false;
     let mut seed = DEFAULT_SEED;
-    let mut out = "BENCH_PR4.json".to_string();
+    let mut out = match cmd {
+        Some("quick") => "BENCH_PR4.json".to_string(),
+        Some("clients") => "results/clients.txt".to_string(),
+        _ => usage(),
+    };
     let mut it = args[1..].iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--json" => json = true,
+            "--json" if cmd == Some("quick") => json = true,
             "--seed" => {
                 let v = it.next().unwrap_or_else(|| usage());
                 let v = v.trim_start_matches("0x");
@@ -65,11 +78,22 @@ fn main() {
         }
     }
 
-    let quick = run_quick(seed);
-    print!("{}", quick.render());
-    if json {
-        std::fs::write(&out, quick.to_json()).expect("write json");
-        println!("wrote {out}");
+    match cmd {
+        Some("quick") => {
+            let quick = run_quick(seed);
+            print!("{}", quick.render());
+            if json {
+                std::fs::write(&out, quick.to_json()).expect("write json");
+                println!("wrote {out}");
+            }
+        }
+        Some("clients") => {
+            let sweep = aceso_bench::clients_sweep(seed);
+            print!("{}", sweep.render());
+            std::fs::write(&out, sweep.render()).expect("write sweep");
+            println!("wrote {out}");
+        }
+        _ => usage(),
     }
 }
 
@@ -84,6 +108,9 @@ struct Quick {
     /// the shape of the doorbell-batched pipeline, straight from the
     /// measured [`aceso_rdma::OpRecord`]s.
     pipeline: Vec<(&'static str, f64, f64, f64)>,
+    /// Measured coroutine overlap of the RT slice: (depth, virtual µs,
+    /// peak in-flight ops on the one executor thread).
+    rt_depth: (f64, f64, usize),
     recovery: aceso_core::RecoveryReport,
     snapshot: Snapshot,
 }
@@ -151,6 +178,7 @@ fn run_quick(seed: u64) -> Quick {
         node_fg,
         bg_bytes_per_sec: bg,
         records,
+        pipeline_depth: None,
     };
     let rep = cost.report(&m);
     let latency = [
@@ -189,6 +217,50 @@ fn run_quick(seed: u64) -> Quick {
     })
     .collect();
 
+    // A short coroutine-pipelined slice: RT_TASKS resumable clients on
+    // one executor thread over a shared virtual CQ. Measures the overlap
+    // depth the runtime actually achieves and exercises the rt.* metrics
+    // end to end (both land in the JSON below).
+    let cq = Arc::new(SimCq::new());
+    let mut exec = Executor::with_obs(Obs::on(Arc::clone(&registry)));
+    for t in 0..RT_TASKS {
+        let mut client = store.client().expect("client");
+        client.dm.attach_cq(Arc::clone(&cq));
+        let mut stream = YcsbWorkload::new(
+            YcsbKind::A,
+            KEYS,
+            0.99,
+            VALUE_LEN,
+            (CLIENTS + t) as u32,
+            seed,
+        );
+        exec.spawn(async move {
+            for opno in 0..RT_OPS_PER_TASK {
+                let req = stream.next().expect("ycsb streams are infinite");
+                let val = value_for(&req.key, opno as u64, req.value_len);
+                let res = match req.op {
+                    Op::Search => client.search_async(&req.key).await.map(|_| ()),
+                    Op::Update => client.update_async(&req.key, &val).await,
+                    Op::Insert => client.insert_async(&req.key, &val).await,
+                    Op::Delete => client.delete_async(&req.key).await.map(|_| ()),
+                };
+                res.unwrap_or_else(|e| panic!("rt op {opno} ({:?}): {e}", req.op));
+            }
+            client.dm.detach_cq();
+        });
+    }
+    let stuck = exec.run_until_idle(|| cq.advance_next());
+    assert_eq!(stuck, 0, "rt slice wedged with {stuck} tasks in flight");
+    let rt_depth = (
+        if cq.now_us() > 0.0 {
+            cq.busy_us() / cq.now_us()
+        } else {
+            0.0
+        },
+        cq.now_us(),
+        exec.peak_inflight(),
+    );
+
     // One MN crash + full tiered recovery (Meta → Index → Block →
     // parity); phase spans land in the registry via the store recorder.
     assert!(store.kill_mn(KILL_COL), "node already dead");
@@ -202,6 +274,7 @@ fn run_quick(seed: u64) -> Quick {
         bottleneck: rep.bottleneck.label(),
         latency,
         pipeline,
+        rt_depth,
         recovery,
         snapshot,
     }
@@ -238,6 +311,11 @@ impl Quick {
                  batched verbs {bverbs:.2}\n"
             ));
         }
+        let (depth, vus, peak) = self.rt_depth;
+        s.push_str(&format!(
+            "  rt slice: {RT_TASKS} tasks × {RT_OPS_PER_TASK} ops on one thread, \
+             measured depth {depth:.2} over {vus:.0} virtual µs (peak inflight {peak})\n"
+        ));
         let r = &self.recovery;
         s.push_str(&format!(
             "  recovery of col {KILL_COL}: meta {:.3} ms, index {:.3} ms, parity {:.3} ms \
@@ -289,6 +367,15 @@ impl Quick {
             w.f64_field("mean_batched_verbs", *bverbs);
             w.end_object();
         }
+        w.end_object();
+        // The coroutine slice: virtual-clock values only, so still a pure
+        // function of the seed.
+        w.begin_object_key("pipeline_depth");
+        w.u64_field("tasks", RT_TASKS as u64);
+        w.u64_field("ops_per_task", RT_OPS_PER_TASK as u64);
+        w.f64_field("depth", self.rt_depth.0);
+        w.f64_field("virtual_us", self.rt_depth.1);
+        w.u64_field("peak_inflight", self.rt_depth.2 as u64);
         w.end_object();
         let r = &self.recovery;
         w.begin_object_key("recovery");

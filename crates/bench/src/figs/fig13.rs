@@ -91,6 +91,7 @@ fn aceso_variant(scale: BenchScale, tuning: ClientTuning, op: Op) -> f64 {
                 node_fg,
                 bg_bytes_per_sec: bg,
                 records,
+                pipeline_depth: None,
             },
             cost: store.cfg.cost,
         }

@@ -260,6 +260,7 @@ where
             node_fg,
             bg_bytes_per_sec: bg,
             records,
+            pipeline_depth: None,
         },
         cost: store.cfg.cost,
     }
@@ -315,6 +316,7 @@ where
             node_fg,
             bg_bytes_per_sec: bg,
             records,
+            pipeline_depth: None,
         },
         cost: store.cfg.cost,
     }

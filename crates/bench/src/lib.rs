@@ -16,9 +16,11 @@
 
 #![forbid(unsafe_code)]
 
+pub mod clients;
 pub mod figs;
 pub mod harness;
 
+pub use clients::{clients_sweep, ClientsSweep, SweepRow};
 pub use harness::{BenchScale, Phase};
 
 /// Formats a Mops number for tables.

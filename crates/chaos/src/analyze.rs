@@ -1,7 +1,7 @@
 //! `chaos analyze` — the happens-before race detector driven over the
 //! executions the harness already produces.
 //!
-//! Three stages, all seeded from one master seed:
+//! Four stages, all seeded from one master seed:
 //!
 //! 1. **Traced sweep** — every cell of the (CI or full) crash matrix runs
 //!    under a fresh [`aceso_san::Detector`], with the identical per-cell
@@ -11,17 +11,22 @@
 //!    interleave a Zipfian 50/50 read/update mix; the detector checks that
 //!    every cross-client handoff is ordered by a commit CAS, lock CAS,
 //!    FAA, RPC, or barrier edge.
-//! 3. **Liveness + lints** — the mutation self-tests
+//! 3. **Runtime-axis trace** — both [`crate::rt_axis`] kills rerun under
+//!    the detector: coroutine clients interleave at *round-trip*
+//!    granularity on one OS thread, so per-client trace ids must survive
+//!    the interleaving for the happens-before graph to stay sound.
+//! 4. **Liveness + lints** — the mutation self-tests
 //!    ([`aceso_san::selftest`]) prove each ordering edge is actually
 //!    checked (a weakened edge must produce a report), and the static
 //!    protocol lints ([`aceso_san::lint`]) check layout constants and
 //!    `CrashPoint` wiring.
 //!
-//! The run is clean only when all three stages are: zero races, zero
+//! The run is clean only when all four stages are: zero races, zero
 //! detector violations, every self-test live, zero lint findings — and the
 //! traced cells still hold their invariants.
 
 use crate::cell::Cell;
+use crate::rt_axis::{run_rt_cell_with_sink, RtKill};
 use crate::runner::{chaos_config, run_cell_with_sink};
 use crate::sweep::cell_seeds;
 use aceso_core::AcesoStore;
@@ -71,6 +76,33 @@ pub struct YcsbTrace {
     pub errors: Vec<String>,
 }
 
+/// Detector findings for one traced runtime-axis cell (N coroutine
+/// clients multiplexed on one executor thread, killed mid-suspension).
+#[derive(Clone, Debug)]
+pub struct RtTrace {
+    /// The kill the cell armed.
+    pub kill: RtKill,
+    /// Tasks multiplexed on the executor thread.
+    pub tasks: usize,
+    /// Tasks still mid-op when the fault fired.
+    pub inflight_at_fault: usize,
+    /// Events the detector processed.
+    pub events: u64,
+    /// Rendered races the detector reported.
+    pub races: Vec<String>,
+    /// Detector violations (misaligned atomics seen in the trace).
+    pub detector_violations: Vec<String>,
+    /// Invariant violations from the cell run itself.
+    pub cell_violations: Vec<String>,
+}
+
+impl RtTrace {
+    /// `true` when the cell raced nowhere and held its invariants.
+    pub fn ok(&self) -> bool {
+        self.races.is_empty() && self.detector_violations.is_empty() && self.cell_violations.is_empty()
+    }
+}
+
 /// Everything one `chaos analyze` run produced.
 #[derive(Clone, Debug)]
 pub struct AnalyzeReport {
@@ -80,6 +112,8 @@ pub struct AnalyzeReport {
     pub cells: Vec<CellTrace>,
     /// The YCSB-A trace findings.
     pub ycsb: YcsbTrace,
+    /// The runtime-axis trace findings (one per [`RtKill`]).
+    pub rt: Vec<RtTrace>,
     /// Mutation self-test outcomes (detector liveness proof).
     pub selftests: Vec<SelftestOutcome>,
     /// Static protocol lint findings.
@@ -92,6 +126,7 @@ impl AnalyzeReport {
         self.cells.iter().all(CellTrace::ok)
             && self.ycsb.races.is_empty()
             && self.ycsb.errors.is_empty()
+            && self.rt.iter().all(RtTrace::ok)
             && self.selftests.iter().all(SelftestOutcome::ok)
             && self.lint_violations.is_empty()
     }
@@ -139,6 +174,25 @@ impl AnalyzeReport {
         }
         for e in &self.ycsb.errors {
             s.push_str(&format!("    error: {e}\n"));
+        }
+        for t in &self.rt {
+            s.push_str(&format!(
+                "  rt {}: {} tasks (one thread), {} in flight at fault, {} events, {} races\n",
+                t.kill.label(),
+                t.tasks,
+                t.inflight_at_fault,
+                t.events,
+                t.races.len()
+            ));
+            for r in &t.races {
+                s.push_str(&format!("    race: {r}\n"));
+            }
+            for v in &t.detector_violations {
+                s.push_str(&format!("    detector: {v}\n"));
+            }
+            for v in &t.cell_violations {
+                s.push_str(&format!("    invariant: {v}\n"));
+            }
         }
         s.push_str("  detector liveness (mutation self-tests):\n");
         for t in &self.selftests {
@@ -307,7 +361,31 @@ pub fn analyze_ycsb(seed: u64) -> YcsbTrace {
     trace
 }
 
-/// Runs all three stages.
+/// Both runtime-axis cells, traced: the kill lands while several
+/// coroutine clients are suspended mid-op on one executor thread, and
+/// the detector must still order every cross-client handoff — the
+/// per-client trace ids have to survive the interleaving.
+pub fn analyze_rt(seed: u64) -> Vec<RtTrace> {
+    [RtKill::Mn, RtKill::Cn]
+        .into_iter()
+        .map(|kill| {
+            let det = Arc::new(Detector::with_annotator(annotator()));
+            let sink: Arc<dyn TraceSink> = det.clone();
+            let out = run_rt_cell_with_sink(kill, seed, Some(sink));
+            RtTrace {
+                kill,
+                tasks: out.tasks,
+                inflight_at_fault: out.inflight_at_fault,
+                events: det.events(),
+                races: det.races().iter().map(|r| r.to_string()).collect(),
+                detector_violations: det.violations(),
+                cell_violations: out.violations,
+            }
+        })
+        .collect()
+}
+
+/// Runs all four stages.
 pub fn analyze(
     cells: &[Cell],
     seed: u64,
@@ -315,10 +393,12 @@ pub fn analyze(
 ) -> AnalyzeReport {
     let cell_traces = analyze_cells(cells, seed, progress);
     let ycsb = analyze_ycsb(seed);
+    let rt = analyze_rt(seed);
     AnalyzeReport {
         seed,
         cells: cell_traces,
         ycsb,
+        rt,
         selftests: selftest::run_all(),
         lint_violations: lint::run_all(),
     }
@@ -351,6 +431,25 @@ mod tests {
         for t in analyze_cells(&cells, 41, |_| {}) {
             assert!(t.ok(), "cell {}: races {:?}, violations {:?}/{:?}", t.cell, t.races, t.detector_violations, t.cell_violations);
             assert!(t.events > 100, "cell {}: only {} events traced", t.cell, t.events);
+        }
+    }
+
+    /// Both runtime-axis kills trace race-free: the detector orders
+    /// every handoff even though the clients interleave at round-trip
+    /// granularity on one thread, and the cell invariants hold.
+    #[test]
+    fn rt_traces_are_race_free() {
+        for t in analyze_rt(crate::DEFAULT_SEED) {
+            assert!(
+                t.ok(),
+                "rt {}: races {:?}, violations {:?}/{:?}",
+                t.kill.label(),
+                t.races,
+                t.detector_violations,
+                t.cell_violations
+            );
+            assert!(t.events > 100, "rt {}: only {} events", t.kill.label(), t.events);
+            assert!(t.inflight_at_fault >= 2);
         }
     }
 

@@ -10,26 +10,32 @@
 //! liveness, Index-Version monotonicity, parity-stripe consistency — see
 //! [`runner`]).
 //!
-//! The `chaos` binary exposes three modes:
+//! The `chaos` binary exposes four modes:
 //!
 //! * `chaos sweep [--ci]` — deterministic matrix sweep with a coverage
 //!   report and minimized counterexamples; `--ci` is the fixed-seed
 //!   sub-minute profile wired into tier-1 verification.
 //! * `chaos soak --seconds N` — seeded random schedules until a deadline.
-//! * `chaos analyze [--ci]` — reruns the sweep schedules and a
-//!   multi-client YCSB-A interleaving under the [`aceso_san`]
-//!   happens-before race detector, then runs the detector's mutation
-//!   self-tests and the static protocol lints (see [`analyze`]).
+//! * `chaos rt` — the coroutine-runtime axis: kill a memory node (or
+//!   crash one client) while several resumable ops are suspended mid
+//!   round-trip on one [`aceso_rt::Executor`] thread (see [`rt_axis`]).
+//! * `chaos analyze [--ci]` — reruns the sweep schedules, a
+//!   multi-client YCSB-A interleaving, and the runtime-axis cells under
+//!   the [`aceso_san`] happens-before race detector, then runs the
+//!   detector's mutation self-tests and the static protocol lints (see
+//!   [`analyze`]).
 //!
 //! Every schedule derives from one `u64` seed; the same seed replays the
 //! identical schedule.
 
 pub mod analyze;
 pub mod cell;
+pub mod rt_axis;
 pub mod runner;
 pub mod sweep;
 
-pub use analyze::{AnalyzeReport, CellTrace, YcsbTrace};
+pub use analyze::{AnalyzeReport, CellTrace, RtTrace, YcsbTrace};
+pub use rt_axis::{run_rt_cell, run_rt_cell_with_sink, RtKill, RtOutcome, RT_TASKS};
 pub use cell::{
     ci_matrix, full_matrix, injection_sites, kill_timings, Cell, InjectionSite, KillTiming,
     OpType, ReclaimState,

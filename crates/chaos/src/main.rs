@@ -3,6 +3,7 @@
 //! ```text
 //! chaos sweep   [--ci] [--seed N] [--limit N] [--verbose]
 //! chaos soak    [--seed N] [--seconds N] [--verbose]
+//! chaos rt      [--seed N]
 //! chaos analyze [--ci] [--seed N] [--limit N] [--verbose]
 //! ```
 //!
@@ -12,8 +13,8 @@
 //! errors.
 
 use aceso_chaos::{
-    analyze, ci_matrix, full_matrix, run_cell, soak, sweep, Cell, CellOutcome, CellTrace,
-    SweepReport, CI_CELLS, DEFAULT_SEED,
+    analyze, ci_matrix, full_matrix, run_cell, run_rt_cell, soak, sweep, Cell, CellOutcome,
+    CellTrace, RtKill, SweepReport, CI_CELLS, DEFAULT_SEED,
 };
 use std::time::Duration;
 
@@ -21,15 +22,18 @@ fn usage() -> ! {
     eprintln!(
         "usage: chaos sweep   [--ci] [--seed N] [--limit N] [--verbose]\n\
                 chaos soak    [--seed N] [--seconds N] [--verbose]\n\
+                chaos rt      [--seed N]\n\
                 chaos analyze [--ci] [--seed N] [--limit N] [--verbose]\n\
                 chaos cell <op/site/kill/reclaim> [--seed N]\n\
          \n\
-         sweep    run the crash matrix (full 480 cells; --ci = deterministic\n\
+         sweep    run the crash matrix (full 600 cells; --ci = deterministic\n\
          \x20        {CI_CELLS}-cell profile) and print a coverage report\n\
          soak     run seeded random cells until --seconds elapse\n\
-         analyze  rerun the sweep schedules and a 4-client YCSB-A trace\n\
-         \x20        under the happens-before race detector, plus the\n\
-         \x20        detector self-tests and static protocol lints\n\
+         rt       kill a memory node / crash a client while several\n\
+         \x20        coroutine ops sit suspended on one executor thread\n\
+         analyze  rerun the sweep schedules, a 4-client YCSB-A trace, and\n\
+         \x20        the rt cells under the happens-before race detector,\n\
+         \x20        plus the detector self-tests and static protocol lints\n\
          cell     replay one cell by id (as printed in counterexamples)\n\
          --seed   master seed (default {DEFAULT_SEED:#x}); same seed, same schedule"
     );
@@ -140,6 +144,26 @@ fn main() {
             });
             print!("{}", report.render());
             std::process::exit(if report.clean() { 0 } else { 1 });
+        }
+        "rt" => {
+            println!("chaos rt: {} tasks on one executor thread, seed {seed:#x}", aceso_chaos::RT_TASKS);
+            let mut failed = false;
+            for kill in [RtKill::Mn, RtKill::Cn] {
+                let out = run_rt_cell(kill, seed);
+                let status = if out.ok() { "ok" } else { "VIOLATION" };
+                println!(
+                    "{status:<9} {} ({} ms, {} in flight at fault, {} tasks crashed)",
+                    kill.label(),
+                    out.duration_ms,
+                    out.inflight_at_fault,
+                    out.crashed_tasks
+                );
+                for v in &out.violations {
+                    println!("    {v}");
+                }
+                failed |= !out.ok();
+            }
+            std::process::exit(if failed { 1 } else { 0 });
         }
         "cell" => {
             let Some(cell) = cell_id.as_deref().and_then(Cell::parse) else {

@@ -140,7 +140,7 @@ pub fn run_cell_with_sink(
 
 /// Deterministic value generator: length and bytes come from the cell's
 /// seeded RNG, the first byte tags the generation for readable mismatches.
-fn gen_value(rng: &mut StdRng, tag: u8) -> Vec<u8> {
+pub(crate) fn gen_value(rng: &mut StdRng, tag: u8) -> Vec<u8> {
     let len = rng.gen_range(24usize..96);
     let mut v = vec![0u8; len];
     rng.fill_bytes(&mut v);
@@ -148,7 +148,7 @@ fn gen_value(rng: &mut StdRng, tag: u8) -> Vec<u8> {
     v
 }
 
-fn fmt_key(k: &[u8]) -> String {
+pub(crate) fn fmt_key(k: &[u8]) -> String {
     String::from_utf8_lossy(k).into_owned()
 }
 
@@ -195,7 +195,7 @@ fn twin_kv_col(store: &Arc<AcesoStore>, key: &[u8]) -> Result<usize, String> {
     Ok(unpack_col(slot.atomic.addr48).0)
 }
 
-fn fmt_state(s: &Option<Vec<u8>>) -> String {
+pub(crate) fn fmt_state(s: &Option<Vec<u8>>) -> String {
     match s {
         None => "absent".into(),
         Some(v) => format!("{}…[{}]", fmt_key(&v[..v.len().min(8)]), v.len()),

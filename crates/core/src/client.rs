@@ -29,7 +29,7 @@ use aceso_index::slot::slot_version;
 use aceso_index::{fingerprint, route_hash, RemoteIndex, SlotAtomic, SlotMeta};
 use aceso_obs::{Counter, Histogram, Obs, Registry};
 use aceso_rdma::{Cluster, DmClient, GlobalAddr, OpKind, OpRecord, RdmaError};
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 /// Protocol-step injection sites in the commit path (Algorithm 1).
@@ -197,14 +197,14 @@ pub struct AcesoClient {
     cli_id: u32,
     tuning: ClientTuning,
     bitmap_flush_every: usize,
-    blocks: HashMap<u8, OpenBlock>,
+    blocks: BTreeMap<u8, OpenBlock>,
     cache: HashMap<Vec<u8>, CacheEntry>,
     /// Invalidation writes for speculation-lost KVs, deferred so they can
     /// ride inside the next doorbell batch of the same operation instead
     /// of paying their own round trip. Always drained before the
     /// operation returns (see `upsert`).
     pending_inval: Vec<(GlobalAddr, [u8; 8])>,
-    pending_bits: HashMap<(usize, BlockId), Vec<u32>>,
+    pending_bits: BTreeMap<(usize, BlockId), Vec<u32>>,
     pending_count: usize,
     alloc_rr: usize,
     /// Armed injection site: the next operation reaching it aborts with
@@ -236,10 +236,10 @@ impl AcesoClient {
             cli_id,
             tuning,
             bitmap_flush_every,
-            blocks: HashMap::new(),
+            blocks: BTreeMap::new(),
             cache: HashMap::new(),
             pending_inval: Vec::new(),
-            pending_bits: HashMap::new(),
+            pending_bits: BTreeMap::new(),
             pending_count: 0,
             alloc_rr: cli_id as usize,
             crash_point: None,
@@ -297,27 +297,64 @@ impl AcesoClient {
     /// assert_eq!(client.search(b"user1").unwrap(), None);
     /// ```
     pub fn insert(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
-        let _span = self.op_span(OpKind::Insert);
-        self.dm.begin_op();
-        let r = self.upsert(key, value, false, true);
-        self.finish_op(&r, OpKind::Insert);
-        r.map(|_| ())
+        let cq = self.dm.cq();
+        aceso_rdma::cq::block_on(cq, self.insert_async(key, value))
     }
 
     /// Updates an existing key; `NotFound` if absent.
     pub fn update(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
-        let _span = self.op_span(OpKind::Update);
-        self.dm.begin_op();
-        let r = self.upsert(key, value, false, false);
-        self.finish_op(&r, OpKind::Update);
-        r.map(|_| ())
+        let cq = self.dm.cq();
+        aceso_rdma::cq::block_on(cq, self.update_async(key, value))
     }
 
     /// Deletes a key by committing a tombstone; returns whether it existed.
     pub fn delete(&mut self, key: &[u8]) -> Result<bool> {
+        let cq = self.dm.cq();
+        aceso_rdma::cq::block_on(cq, self.delete_async(key))
+    }
+
+    /// Point lookup.
+    pub fn search(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let cq = self.dm.cq();
+        aceso_rdma::cq::block_on(cq, self.search_async(key))
+    }
+
+    // ---- Async API (coroutine pipelining, see `aceso-rt`) ---------------
+    //
+    // Each op is a resumable state machine that suspends at every fabric
+    // round trip (`DmClient::settle`). With a completion queue attached
+    // (`self.dm.attach_cq`) and many client tasks multiplexed on one
+    // `aceso_rt::Executor`, suspended round trips overlap exactly like the
+    // paper's client coroutines. The blocking API above is a thin
+    // `block_on` wrapper, so protocol behaviour — commit points, crash
+    // sites, trace ids — is identical in both modes.
+
+    /// Async [`AcesoClient::insert`]: suspends at each fabric round trip.
+    pub async fn insert_async(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        let _span = self.op_span(OpKind::Insert);
+        self.dm.begin_op();
+        let r = self.upsert(key, value, false, true).await;
+        self.dm.settle().await;
+        self.finish_op(&r, OpKind::Insert);
+        r.map(|_| ())
+    }
+
+    /// Async [`AcesoClient::update`]: suspends at each fabric round trip.
+    pub async fn update_async(&mut self, key: &[u8], value: &[u8]) -> Result<()> {
+        let _span = self.op_span(OpKind::Update);
+        self.dm.begin_op();
+        let r = self.upsert(key, value, false, false).await;
+        self.dm.settle().await;
+        self.finish_op(&r, OpKind::Update);
+        r.map(|_| ())
+    }
+
+    /// Async [`AcesoClient::delete`]: suspends at each fabric round trip.
+    pub async fn delete_async(&mut self, key: &[u8]) -> Result<bool> {
         let _span = self.op_span(OpKind::Delete);
         self.dm.begin_op();
-        let r = self.upsert(key, b"", true, false);
+        let r = self.upsert(key, b"", true, false).await;
+        self.dm.settle().await;
         match r {
             Ok(()) => {
                 self.note_finished(OpKind::Delete);
@@ -334,11 +371,12 @@ impl AcesoClient {
         }
     }
 
-    /// Point lookup.
-    pub fn search(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+    /// Async [`AcesoClient::search`]: suspends at each fabric round trip.
+    pub async fn search_async(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         let _span = self.op_span(OpKind::Search);
         self.dm.begin_op();
-        let r = self.search_inner(key);
+        let r = self.search_inner(key).await;
+        self.dm.settle().await;
         self.finish_op(&r, OpKind::Search);
         r
     }
@@ -347,7 +385,7 @@ impl AcesoClient {
     pub fn flush_bitmaps(&mut self) -> Result<()> {
         let pending = std::mem::take(&mut self.pending_bits);
         self.pending_count = 0;
-        let mut by_col: HashMap<usize, Vec<(BlockId, Vec<u32>)>> = HashMap::new();
+        let mut by_col: BTreeMap<usize, Vec<(BlockId, Vec<u32>)>> = BTreeMap::new();
         for ((col, block), slots) in pending {
             by_col.entry(col).or_default().push((block, slots));
         }
@@ -395,26 +433,26 @@ impl AcesoClient {
 
     // ---- SEARCH ---------------------------------------------------------
 
-    fn search_inner(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+    async fn search_inner(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         let fp = fingerprint(key);
         if self.tuning.use_cache {
             if let Some(entry) = self.cache.get(key).copied() {
                 if self.tuning.cache_slot_addr {
                     // A `None` falls through to a full query.
-                    if let Some(found) = self.search_via_cache(key, fp, entry)? {
+                    if let Some(found) = self.search_via_cache(key, fp, entry).await? {
                         return Ok(found);
                     }
-                } else if let Some(found) = self.search_value_cache(key, fp, entry)? {
+                } else if let Some(found) = self.search_value_cache(key, fp, entry).await? {
                     return Ok(found);
                 }
             }
         }
-        self.search_query(key, fp)
+        self.search_query(key, fp).await
     }
 
     /// Full Aceso cache hit: batched `KV read + slot re-read` (§3.5.1).
     /// Outer `None` means the cache entry was unusable (fall back).
-    fn search_via_cache(
+    async fn search_via_cache(
         &mut self,
         key: &[u8],
         fp: u8,
@@ -432,6 +470,7 @@ impl AcesoClient {
                 .read_slot(dm, entry.slot_addr)
                 .map_err(StoreError::from);
         });
+        self.dm.settle().await;
         let Ok(slot) = slot else {
             // Index MN unreachable (mid-recovery): drop entry, full query.
             self.cache.remove(key);
@@ -441,9 +480,9 @@ impl AcesoClient {
             let value = match kv_buf {
                 Ok(buf) => match kv::decode(&buf) {
                     Some(d) if d.key == key => self.value_of(d),
-                    _ => self.fetch_kv_degraded(kv_col, kv_off, len, key)?,
+                    _ => self.fetch_kv_degraded(kv_col, kv_off, len, key).await?,
                 },
-                Err(_) => self.fetch_kv_degraded(kv_col, kv_off, len, key)?,
+                Err(_) => self.fetch_kv_degraded(kv_col, kv_off, len, key).await?,
             };
             match value {
                 Some(v) => return Ok(Some(v)),
@@ -458,7 +497,7 @@ impl AcesoClient {
         }
         // Slot changed: chase the new pointer if it still matches this key.
         if !slot.atomic.is_empty() && slot.atomic.fp == fp {
-            let v = self.read_and_verify(slot.atomic, slot.meta, key)?;
+            let v = self.read_and_verify(slot.atomic, slot.meta, key).await?;
             if let Some(val) = v {
                 self.cache.insert(
                     key.to_vec(),
@@ -478,7 +517,7 @@ impl AcesoClient {
 
     /// FUSEE-style value-only cache (factor analysis baseline): the slot
     /// address is unknown, so validation re-reads the key's buckets.
-    fn search_value_cache(
+    async fn search_value_cache(
         &mut self,
         key: &[u8],
         fp: u8,
@@ -495,6 +534,7 @@ impl AcesoClient {
                 .map_err(StoreError::from);
             scan = index.scan(dm, key, fp).map_err(StoreError::from);
         });
+        self.dm.settle().await;
         let Ok(scan) = scan else {
             self.cache.remove(key);
             return Ok(None);
@@ -509,7 +549,7 @@ impl AcesoClient {
                         }
                     }
                 }
-                if let Some(v) = self.fetch_kv_degraded(kv_col, kv_off, len, key)? {
+                if let Some(v) = self.fetch_kv_degraded(kv_col, kv_off, len, key).await? {
                     return Ok(Some(v));
                 }
                 // Collision on the degraded fetch: the cached address holds
@@ -519,16 +559,17 @@ impl AcesoClient {
         }
         self.cache.remove(key);
         // Use the fresh scan directly rather than re-scanning.
-        self.search_candidates(key, scan.matches).map(Some)
+        self.search_candidates(key, scan.matches).await.map(Some)
     }
 
-    fn search_query(&mut self, key: &[u8], fp: u8) -> Result<Option<Vec<u8>>> {
+    async fn search_query(&mut self, key: &[u8], fp: u8) -> Result<Option<Vec<u8>>> {
         let (_, index) = self.index_of(key);
         let scan = self.with_index_retry(|dm| index.scan(dm, key, fp))?;
-        self.search_candidates(key, scan.matches)
+        self.dm.settle().await;
+        self.search_candidates(key, scan.matches).await
     }
 
-    fn search_candidates(
+    async fn search_candidates(
         &mut self,
         key: &[u8],
         candidates: Vec<aceso_index::SlotRef>,
@@ -548,14 +589,16 @@ impl AcesoClient {
                     reads.push((col, off, hint, r));
                 }
             });
+            self.dm.settle().await;
         }
         for (i, cand) in candidates.iter().enumerate() {
             let val = match reads.get_mut(i) {
                 Some((col, off, hint, read)) => {
                     let read = std::mem::replace(read, Ok(Vec::new()));
-                    self.classify_kv_read(read, *col, *off, *hint, key)?
+                    let (col, off, hint) = (*col, *off, *hint);
+                    self.classify_kv_read(read, col, off, hint, key).await?
                 }
-                None => self.read_and_verify(cand.atomic, cand.meta, key)?,
+                None => self.read_and_verify(cand.atomic, cand.meta, key).await?,
             };
             if let Some(val) = val {
                 if self.tuning.use_cache {
@@ -579,7 +622,7 @@ impl AcesoClient {
     /// `None` if the KV belongs to a different key (fingerprint collision);
     /// `Some(None)` for a tombstone; `Some(Some(v))` for a live value.
     #[allow(clippy::type_complexity)]
-    fn read_and_verify(
+    async fn read_and_verify(
         &mut self,
         atomic: SlotAtomic,
         meta: SlotMeta,
@@ -588,7 +631,8 @@ impl AcesoClient {
         let (col, off) = unpack_col(atomic.addr48);
         let hint = (meta.len64.max(4) as usize) * 64;
         let read = self.dm.read_vec(self.addr(col, off), hint);
-        self.classify_kv_read(read, col, off, hint, key)
+        self.dm.settle().await;
+        self.classify_kv_read(read, col, off, hint, key).await
     }
 
     /// Classifies one candidate KV read (possibly prefetched in a doorbell
@@ -601,7 +645,7 @@ impl AcesoClient {
     /// is not this key's live KV — a stale or colliding slot — and must be
     /// reported as a collision (`None`) so the candidate scan continues.
     #[allow(clippy::type_complexity)]
-    fn classify_kv_read(
+    async fn classify_kv_read(
         &mut self,
         read: aceso_rdma::Result<Vec<u8>>,
         col: usize,
@@ -623,7 +667,7 @@ impl AcesoClient {
                 if buf.is_empty() || buf[0] == 0 {
                     // Unwritten bytes on a reachable node: an unrecovered
                     // block on a replacement MN → degraded read.
-                    return self.fetch_kv_degraded(col, off, hint, key);
+                    return self.fetch_kv_degraded(col, off, hint, key).await;
                 }
                 // Truncated read (stale len64)? Retry with the header's own
                 // sizes, but only if the header is plausible: a valid write
@@ -636,8 +680,9 @@ impl AcesoClient {
                     let need = kv::KV_HEADER + klen + vlen + 1;
                     if need > hint && need <= (u8::MAX as usize) * 64 {
                         if let Ok(class) = kv::class_for(klen, vlen) {
-                            let full =
-                                self.dm.read_vec(self.addr(col, off), class as usize * 64)?;
+                            let full = self.dm.read_vec(self.addr(col, off), class as usize * 64);
+                            self.dm.settle().await;
+                            let full = full?;
                             if let Some(d) = kv::decode(&full) {
                                 if d.key == key && !d.is_invalidated() {
                                     return Ok(Some(self.value_of(d).and_then(|v| v)));
@@ -648,7 +693,7 @@ impl AcesoClient {
                 }
                 Ok(None)
             }
-            Err(RdmaError::NodeUnreachable(_)) => self.fetch_kv_degraded(col, off, hint, key),
+            Err(RdmaError::NodeUnreachable(_)) => self.fetch_kv_degraded(col, off, hint, key).await,
             Err(e) => Err(e.into()),
         }
     }
@@ -670,7 +715,7 @@ impl AcesoClient {
     /// collision (the reconstructed KV belongs to a different key — keep
     /// scanning), `Some(None)` a tombstone, `Some(Some(v))` a live value.
     #[allow(clippy::type_complexity)]
-    fn fetch_kv_degraded(
+    async fn fetch_kv_degraded(
         &mut self,
         col: usize,
         off: u64,
@@ -680,7 +725,9 @@ impl AcesoClient {
         if let Some(m) = &self.metrics {
             m.degraded_reads.inc();
         }
-        let buf = self.reconstruct_range(col, off, len)?;
+        let buf = self.reconstruct_range(col, off, len);
+        self.dm.settle().await;
+        let buf = buf?;
         match kv::decode(&buf) {
             Some(d) if d.key == key && !d.is_invalidated() => Ok(self.value_of(d)),
             _ => Ok(None),
@@ -761,14 +808,14 @@ impl AcesoClient {
 
     // ---- Write path (Algorithm 1) ----------------------------------------
 
-    fn upsert(
+    async fn upsert(
         &mut self,
         key: &[u8],
         value: &[u8],
         tombstone: bool,
         allow_insert: bool,
     ) -> Result<()> {
-        let r = self.upsert_inner(key, value, tombstone, allow_insert);
+        let r = self.upsert_inner(key, value, tombstone, allow_insert).await;
         // Invalidations deferred by a speculation loss normally drain
         // inside a later batch of the same op; any remainder (e.g. the op
         // ended in NotFound before another write) goes out now. A
@@ -776,11 +823,12 @@ impl AcesoClient {
         // nothing, which is exactly the window recovery must tolerate.
         if !matches!(r, Err(StoreError::Shutdown)) {
             self.flush_invals()?;
+            self.dm.settle().await;
         }
         r
     }
 
-    fn upsert_inner(
+    async fn upsert_inner(
         &mut self,
         key: &[u8],
         value: &[u8],
@@ -798,22 +846,24 @@ impl AcesoClient {
             // have moved to a replacement MN mid-recovery.
             let (_, index) = self.index_of(key);
             // Locate the slot (cache first, then scan + verify).
-            let outcome = (|| -> Result<CommitOutcome> {
+            let outcome = async {
                 // Cache hit on a plain update: speculate and fold the slot
                 // revalidation into the write batch (one RTT saved).
                 if let Some(entry) = self.pipelined_entry(key, allow_insert) {
-                    return self.commit_update_pipelined(
-                        &index,
-                        key,
-                        value,
-                        tombstone,
-                        fp,
-                        class,
-                        allow_insert,
-                        entry,
-                    );
+                    return self
+                        .commit_update_pipelined(
+                            &index,
+                            key,
+                            value,
+                            tombstone,
+                            fp,
+                            class,
+                            allow_insert,
+                            entry,
+                        )
+                        .await;
                 }
-                match self.locate_slot(&index, key, fp)? {
+                match self.locate_slot(&index, key, fp).await? {
                     Located::Existing(slot_addr, atomic, meta, was_tombstone) => {
                         if was_tombstone && !allow_insert {
                             // UPDATE/DELETE of a deleted key.
@@ -822,6 +872,7 @@ impl AcesoClient {
                         self.commit_update(
                             &index, key, value, tombstone, fp, class, slot_addr, atomic, meta,
                         )
+                        .await
                     }
                     Located::Absent(empties) => {
                         if !allow_insert {
@@ -831,9 +882,11 @@ impl AcesoClient {
                             return Err(StoreError::IndexFull);
                         };
                         self.commit_insert(&index, key, value, tombstone, fp, class, target)
+                            .await
                     }
                 }
-            })();
+            }
+            .await;
             match outcome {
                 Ok(CommitOutcome::Done) => return Ok(()),
                 Ok(CommitOutcome::Retry) => {
@@ -874,11 +927,13 @@ impl AcesoClient {
         Some(e)
     }
 
-    fn locate_slot(&mut self, index: &RemoteIndex, key: &[u8], fp: u8) -> Result<Located> {
+    async fn locate_slot(&mut self, index: &RemoteIndex, key: &[u8], fp: u8) -> Result<Located> {
         if self.tuning.use_cache && self.tuning.cache_slot_addr {
             if let Some(e) = self.cache.get(key).copied() {
                 // Re-read the slot: commits need fresh Atomic/Meta words.
-                match self.with_index_retry(|dm| index.read_slot(dm, e.slot_addr)) {
+                let slot = self.with_index_retry(|dm| index.read_slot(dm, e.slot_addr));
+                self.dm.settle().await;
+                match slot {
                     Ok(s) if s.atomic == e.atomic => {
                         // Unchanged since we cached it: the tombstone state
                         // is known without touching the KV.
@@ -886,7 +941,9 @@ impl AcesoClient {
                     }
                     Ok(s) if !s.atomic.is_empty() && s.atomic.fp == fp => {
                         // Same slot, new KV: verify it is still our key.
-                        if let Some((verified, tomb)) = self.verify_kv(s.atomic, s.meta, key)? {
+                        if let Some((verified, tomb)) =
+                            self.verify_kv(s.atomic, s.meta, key).await?
+                        {
                             if verified {
                                 return Ok(Located::Existing(s.addr, s.atomic, s.meta, tomb));
                             }
@@ -899,9 +956,11 @@ impl AcesoClient {
                 }
             }
         }
-        let scan = self.with_index_retry(|dm| index.scan(dm, key, fp))?;
+        let scan = self.with_index_retry(|dm| index.scan(dm, key, fp));
+        self.dm.settle().await;
+        let scan = scan?;
         for cand in &scan.matches {
-            if let Some((true, tomb)) = self.verify_kv(cand.atomic, cand.meta, key)? {
+            if let Some((true, tomb)) = self.verify_kv(cand.atomic, cand.meta, key).await? {
                 return Ok(Located::Existing(cand.addr, cand.atomic, cand.meta, tomb));
             }
         }
@@ -911,7 +970,7 @@ impl AcesoClient {
     /// Reads the KV a slot points at; returns `Some((key_matches,
     /// is_tombstone))`, or `None` when the KV is unreadable even via
     /// reconstruction.
-    fn verify_kv(
+    async fn verify_kv(
         &mut self,
         atomic: SlotAtomic,
         meta: SlotMeta,
@@ -919,7 +978,9 @@ impl AcesoClient {
     ) -> Result<Option<(bool, bool)>> {
         let (col, off) = unpack_col(atomic.addr48);
         let hint = (meta.len64.max(4) as usize) * 64;
-        let direct = match self.dm.read_vec(self.addr(col, off), hint) {
+        let read = self.dm.read_vec(self.addr(col, off), hint);
+        self.dm.settle().await;
+        let direct = match read {
             Ok(buf) => kv::decode(&buf).map(|d| (d.key == key, d.tombstone)),
             Err(RdmaError::NodeUnreachable(_)) => None,
             Err(e) => return Err(e.into()),
@@ -928,15 +989,16 @@ impl AcesoClient {
             return Ok(direct);
         }
         // Unrecovered or unreachable block: reconstruct the range.
-        Ok(self
-            .reconstruct_range(col, off, hint)
+        let rebuilt = self.reconstruct_range(col, off, hint);
+        self.dm.settle().await;
+        Ok(rebuilt
             .ok()
             .and_then(|b| kv::decode(&b).map(|d| (d.key == key, d.tombstone))))
     }
 
     /// One committed update attempt per Algorithm 1.
     #[allow(clippy::too_many_arguments)]
-    fn commit_update(
+    async fn commit_update(
         &mut self,
         index: &RemoteIndex,
         key: &[u8],
@@ -949,12 +1011,17 @@ impl AcesoClient {
         mut meta: SlotMeta,
     ) -> Result<CommitOutcome> {
         // Meta locked by another client: wait briefly, then break the lock
-        // (its holder may have crashed), per §3.2.2 remark 2.
+        // (its holder may have crashed), per §3.2.2 remark 2. Each probe
+        // settles its round trip, so a suspended lock holder on the same
+        // executor thread gets scheduled between probes instead of being
+        // spun against forever.
         let mut lock_pair: Option<(SlotMeta, SlotMeta)> = None;
         if meta.is_locked() {
             let mut spins = 0;
             loop {
-                let s = index.read_slot(&self.dm, slot_addr)?;
+                let s = index.read_slot(&self.dm, slot_addr);
+                self.dm.settle().await;
+                let s = s?;
                 meta = s.meta;
                 if !meta.is_locked() {
                     return Ok(CommitOutcome::Retry); // Re-locate with fresh state.
@@ -966,7 +1033,9 @@ impl AcesoClient {
                         len64: meta.len64,
                         epoch: meta.epoch + 2,
                     };
-                    let seen = index.cas_meta(&self.dm, slot_addr, meta, relock)?;
+                    let seen = index.cas_meta(&self.dm, slot_addr, meta, relock);
+                    self.dm.settle().await;
+                    let seen = seen?;
                     if seen != meta {
                         return Ok(CommitOutcome::Retry);
                     }
@@ -990,7 +1059,9 @@ impl AcesoClient {
                 len64: meta.len64,
                 epoch: meta.epoch + 1,
             };
-            let seen = index.cas_meta(&self.dm, slot_addr, meta, locked)?;
+            let seen = index.cas_meta(&self.dm, slot_addr, meta, locked);
+            self.dm.settle().await;
+            let seen = seen?;
             if seen != meta {
                 return Ok(CommitOutcome::Retry);
             }
@@ -1009,8 +1080,10 @@ impl AcesoClient {
         let new_ver = atomic.ver.wrapping_add(1);
         let sv = slot_version(commit_epoch, new_ver);
 
-        let place = self.alloc_slot(class)?;
-        self.write_kv(&place, sv, key, value, tombstone, None)?;
+        let place = self.alloc_slot(class);
+        self.dm.settle().await;
+        let place = place?;
+        self.write_kv(&place, sv, key, value, tombstone, None).await?;
 
         let new_atomic = SlotAtomic {
             fp,
@@ -1023,7 +1096,9 @@ impl AcesoClient {
         // Atomic word it lands on (aceso-san derives happens-before from
         // exactly this ordering — see the skip-commit-cas and
         // commit-before-write self-tests).
-        let prev = index.cas_atomic(&self.dm, slot_addr, atomic, new_atomic)?;
+        let prev = index.cas_atomic(&self.dm, slot_addr, atomic, new_atomic);
+        self.dm.settle().await;
+        let prev = prev?;
         let committed = prev == atomic;
         if committed {
             self.maybe_crash(CrashPoint::AfterCommit)?;
@@ -1034,11 +1109,14 @@ impl AcesoClient {
                 // Keep the lock bracket conservative: retire the lost KV
                 // before the unlock CAS releases the Meta epoch.
                 self.flush_invals()?;
+                self.dm.settle().await;
             }
         }
         if let Some((locked, unlocked)) = lock_pair {
             // Unlock regardless of commit outcome (Algorithm 1 line 19-20).
-            let _ = index.cas_meta(&self.dm, slot_addr, locked, unlocked)?;
+            let unlock = index.cas_meta(&self.dm, slot_addr, locked, unlocked);
+            self.dm.settle().await;
+            let _ = unlock?;
         }
         if !committed {
             return Ok(CommitOutcome::Retry);
@@ -1052,7 +1130,9 @@ impl AcesoClient {
             epoch: commit_epoch,
         };
         if meta.len64 != class && lock_pair.is_none() {
-            index.write_meta(&self.dm, slot_addr, new_meta)?;
+            let wm = index.write_meta(&self.dm, slot_addr, new_meta);
+            self.dm.settle().await;
+            wm?;
         }
         if self.tuning.use_cache {
             self.cache.insert(
@@ -1066,6 +1146,7 @@ impl AcesoClient {
             );
         }
         self.maybe_flush()?;
+        self.dm.settle().await;
         Ok(CommitOutcome::Done)
     }
 
@@ -1089,7 +1170,7 @@ impl AcesoClient {
     /// costs the same four round trips as the pre-pipeline stale-cache
     /// path.
     #[allow(clippy::too_many_arguments)]
-    fn commit_update_pipelined(
+    async fn commit_update_pipelined(
         &mut self,
         index: &RemoteIndex,
         key: &[u8],
@@ -1102,8 +1183,13 @@ impl AcesoClient {
     ) -> Result<CommitOutcome> {
         let new_ver = entry.atomic.ver.wrapping_add(1);
         let sv = slot_version(entry.meta.epoch, new_ver);
-        let place = self.alloc_slot(class)?;
-        let slot = match self.write_kv(&place, sv, key, value, tombstone, Some((index, entry.slot_addr))) {
+        let place = self.alloc_slot(class);
+        self.dm.settle().await;
+        let place = place?;
+        let written = self
+            .write_kv(&place, sv, key, value, tombstone, Some((index, entry.slot_addr)))
+            .await;
+        let slot = match written {
             Ok(slot) => slot.expect("revalidate requested"),
             Err(e) => {
                 // The cached slot address may name a dead or pre-recovery
@@ -1125,17 +1211,19 @@ impl AcesoClient {
                 // The slot moved on but still carries our fingerprint —
                 // almost certainly a concurrent update of this very key.
                 // Redo on the fresh words without re-scanning.
-                return self.redo_pipelined(
-                    index,
-                    key,
-                    value,
-                    tombstone,
-                    fp,
-                    class,
-                    allow_insert,
-                    entry.slot_addr,
-                    slot,
-                );
+                return self
+                    .redo_pipelined(
+                        index,
+                        key,
+                        value,
+                        tombstone,
+                        fp,
+                        class,
+                        allow_insert,
+                        entry.slot_addr,
+                        slot,
+                    )
+                    .await;
             }
             return Ok(CommitOutcome::Retry);
         }
@@ -1146,7 +1234,9 @@ impl AcesoClient {
         };
         // Commit point: the same release edge as `commit_update` — the CAS
         // publishes the batch above and must stay strictly after it.
-        let prev = index.cas_atomic(&self.dm, entry.slot_addr, entry.atomic, new_atomic)?;
+        let prev = index.cas_atomic(&self.dm, entry.slot_addr, entry.atomic, new_atomic);
+        self.dm.settle().await;
+        let prev = prev?;
         let committed = prev == entry.atomic;
         if committed {
             self.maybe_crash(CrashPoint::AfterCommit)?;
@@ -1162,7 +1252,9 @@ impl AcesoClient {
             epoch: entry.meta.epoch,
         };
         if entry.meta.len64 != class {
-            index.write_meta(&self.dm, entry.slot_addr, new_meta)?;
+            let wm = index.write_meta(&self.dm, entry.slot_addr, new_meta);
+            self.dm.settle().await;
+            wm?;
         }
         self.cache.insert(
             key.to_vec(),
@@ -1174,6 +1266,7 @@ impl AcesoClient {
             },
         );
         self.maybe_flush()?;
+        self.dm.settle().await;
         Ok(CommitOutcome::Done)
     }
 
@@ -1186,7 +1279,7 @@ impl AcesoClient {
     /// the whole lost-speculation path at three round trips: the lost
     /// batch, this batch, and the commit CAS.
     #[allow(clippy::too_many_arguments)]
-    fn redo_pipelined(
+    async fn redo_pipelined(
         &mut self,
         index: &RemoteIndex,
         key: &[u8],
@@ -1202,7 +1295,9 @@ impl AcesoClient {
         let sv = slot_version(fresh.meta.epoch, new_ver);
         let (kv_col, kv_off) = unpack_col(fresh.atomic.addr48);
         let hint = (fresh.meta.len64.max(4) as usize) * 64;
-        let place = self.alloc_slot(class)?;
+        let place = self.alloc_slot(class);
+        self.dm.settle().await;
+        let place = place?;
         let (buf, delta) = Self::encode_kv(&place, sv, key, value, tombstone);
 
         self.maybe_crash(CrashPoint::BeforeKvWrite)?;
@@ -1229,6 +1324,7 @@ impl AcesoClient {
                 Ok(())
             })();
         });
+        self.dm.settle().await;
         res?;
 
         let identity = kv_read
@@ -1240,6 +1336,7 @@ impl AcesoClient {
                     // Concurrent delete won: surface it, retire our bytes.
                     self.defer_invalidate(&place);
                     self.flush_invals()?;
+                    self.dm.settle().await;
                     return Err(StoreError::NotFound);
                 }
             }
@@ -1257,7 +1354,9 @@ impl AcesoClient {
             ver: new_ver,
         };
         // Commit point: release edge after the write batch, as always.
-        let prev = index.cas_atomic(&self.dm, slot_addr, fresh.atomic, new_atomic)?;
+        let prev = index.cas_atomic(&self.dm, slot_addr, fresh.atomic, new_atomic);
+        self.dm.settle().await;
+        let prev = prev?;
         if prev != fresh.atomic {
             self.defer_invalidate(&place);
             return Ok(CommitOutcome::Retry);
@@ -1269,7 +1368,9 @@ impl AcesoClient {
             epoch: fresh.meta.epoch,
         };
         if fresh.meta.len64 != class {
-            index.write_meta(&self.dm, slot_addr, new_meta)?;
+            let wm = index.write_meta(&self.dm, slot_addr, new_meta);
+            self.dm.settle().await;
+            wm?;
         }
         if self.tuning.use_cache {
             self.cache.insert(
@@ -1283,11 +1384,12 @@ impl AcesoClient {
             );
         }
         self.maybe_flush()?;
+        self.dm.settle().await;
         Ok(CommitOutcome::Done)
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn commit_insert(
+    async fn commit_insert(
         &mut self,
         index: &RemoteIndex,
         key: &[u8],
@@ -1298,8 +1400,10 @@ impl AcesoClient {
         target: GlobalAddr,
     ) -> Result<CommitOutcome> {
         let sv = slot_version(0, 1);
-        let place = self.alloc_slot(class)?;
-        self.write_kv(&place, sv, key, value, tombstone, None)?;
+        let place = self.alloc_slot(class);
+        self.dm.settle().await;
+        let place = place?;
+        self.write_kv(&place, sv, key, value, tombstone, None).await?;
         let new_atomic = SlotAtomic {
             fp,
             addr48: place.packed,
@@ -1307,7 +1411,9 @@ impl AcesoClient {
         };
         // Commit point: the release edge publishing the freshly written KV
         // (same ordering obligation as the update commit CAS above).
-        let prev = index.cas_atomic(&self.dm, target, SlotAtomic::default(), new_atomic)?;
+        let prev = index.cas_atomic(&self.dm, target, SlotAtomic::default(), new_atomic);
+        self.dm.settle().await;
+        let prev = prev?;
         if !prev.is_empty() {
             self.defer_invalidate(&place);
             return Ok(CommitOutcome::Retry);
@@ -1317,7 +1423,9 @@ impl AcesoClient {
             len64: class,
             epoch: 0,
         };
-        index.write_meta(&self.dm, target, new_meta)?;
+        let wm = index.write_meta(&self.dm, target, new_meta);
+        self.dm.settle().await;
+        wm?;
         if self.tuning.use_cache {
             self.cache.insert(
                 key.to_vec(),
@@ -1330,6 +1438,7 @@ impl AcesoClient {
             );
         }
         self.maybe_flush()?;
+        self.dm.settle().await;
         Ok(CommitOutcome::Done)
     }
 
@@ -1342,7 +1451,7 @@ impl AcesoClient {
     /// the still-clean slot is handed back to the open block, and the read
     /// error propagates. The commit CAS stays strictly after this batch in
     /// every caller — it is the release edge that publishes these bytes.
-    fn write_kv(
+    async fn write_kv(
         &mut self,
         place: &SlotPlace,
         sv: u64,
@@ -1387,6 +1496,7 @@ impl AcesoClient {
                 Ok(())
             })();
         });
+        self.dm.settle().await;
         if let Some(Err(_)) = &slot_read {
             // Writes were skipped, so the queued invalidations did not go
             // out either: requeue them for the retry's batch.

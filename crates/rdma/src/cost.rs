@@ -126,6 +126,12 @@ pub struct PhaseMeasurement {
     pub bg_bytes_per_sec: Vec<f64>,
     /// Concatenated per-operation profiles from all clients.
     pub records: Vec<OpRecord>,
+    /// Measured overlap depth per client thread, when the phase ran on the
+    /// coroutine runtime (`aceso-rt`): total modeled fabric wait divided by
+    /// virtual elapsed time (see `aceso_rdma::cq::SimCq::busy_us`). `None`
+    /// falls back to the calibrated [`CostModel::client_pipeline`]
+    /// constant, keeping legacy phases bit-identical.
+    pub pipeline_depth: Option<f64>,
 }
 
 impl PhaseMeasurement {
@@ -229,7 +235,8 @@ impl CostModel {
                 .sum::<f64>()
                 / m.records.len() as f64
         };
-        let client_bound = m.n_clients as f64 * self.client_pipeline / (mean_base * 1e-6);
+        let depth = m.pipeline_depth.unwrap_or(self.client_pipeline);
+        let client_bound = m.n_clients as f64 * depth / (mean_base * 1e-6);
         if client_bound < best {
             best = client_bound;
             which = Bottleneck::ClientRtt;
@@ -372,6 +379,7 @@ mod tests {
                     )
                 })
                 .collect(),
+            pipeline_depth: None,
         };
         let r1 = model.report(&mk(1));
         let r3 = model.report(&mk(3));
@@ -392,6 +400,7 @@ mod tests {
             records: (0..1000)
                 .map(|_| rec(OpKind::Search, 2, 0, 2048, 0))
                 .collect(),
+            pipeline_depth: None,
         };
         let quiet = model.report(&mk(0.0));
         let busy = model.report(&mk(2.0e9));
@@ -421,6 +430,7 @@ mod tests {
                     }
                 })
                 .collect(),
+            pipeline_depth: None,
         };
         let s = model.latency(&m, Some(OpKind::Search));
         let u = model.latency(&m, Some(OpKind::Update));
@@ -440,6 +450,7 @@ mod tests {
             records: (0..200)
                 .map(|i| rec(OpKind::Update, 2 + (i % 3), 1, 0, 1024))
                 .collect(),
+            pipeline_depth: None,
         };
         let a = model.report(&mk());
         let b = model.report(&mk());
@@ -476,6 +487,7 @@ mod tests {
             }],
             bg_bytes_per_sec: vec![0.0],
             records: (0..1000).map(f).collect(),
+            pipeline_depth: None,
         };
         let s = mk(&serial, 0);
         let b = mk(&batched, 3000);
@@ -492,6 +504,30 @@ mod tests {
         assert!(rb.mops > rs.mops, "{} vs {}", rb.mops, rs.mops);
     }
 
+    /// A measured overlap depth must replace the calibrated pipelining
+    /// constant in the client bound: doubling the depth doubles a
+    /// client-bound phase's throughput, and `None` reproduces the legacy
+    /// constant exactly.
+    #[test]
+    fn measured_pipeline_depth_overrides_constant() {
+        let model = CostModel::default();
+        let mk = |depth: Option<f64>| PhaseMeasurement {
+            n_clients: 1,
+            node_fg: vec![demand(100, 0, 0, 100_000, 0)],
+            bg_bytes_per_sec: vec![0.0],
+            records: (0..100).map(|_| rec(OpKind::Search, 2, 0, 1024, 0)).collect(),
+            pipeline_depth: depth,
+        };
+        let legacy = model.report(&mk(None));
+        let same = model.report(&mk(Some(model.client_pipeline)));
+        assert!(matches!(legacy.bottleneck, Bottleneck::ClientRtt));
+        assert_eq!(legacy.mops, same.mops);
+        let deep = model.report(&mk(Some(model.client_pipeline * 2.0)));
+        assert!((deep.mops / legacy.mops - 2.0).abs() < 1e-9);
+        let serial = model.report(&mk(Some(1.0)));
+        assert!(serial.mops < legacy.mops);
+    }
+
     /// Empty phases do not divide by zero.
     #[test]
     fn empty_phase_is_safe() {
@@ -501,6 +537,7 @@ mod tests {
             node_fg: vec![],
             bg_bytes_per_sec: vec![],
             records: vec![],
+            pipeline_depth: None,
         };
         let r = model.report(&m);
         assert!(r.mops.is_finite());

@@ -27,6 +27,7 @@
 pub mod addr;
 pub mod cluster;
 pub mod cost;
+pub mod cq;
 pub mod error;
 pub mod fault;
 pub mod master;
@@ -39,6 +40,7 @@ pub mod verbs;
 pub use addr::{GlobalAddr, NodeId};
 pub use cluster::{Cluster, ClusterConfig, MemoryNode};
 pub use cost::{Bottleneck, CostModel, LatencyReport, PhaseMeasurement, PhaseReport};
+pub use cq::{block_on, Completion, SimCq};
 pub use error::{RdmaError, Result};
 pub use fault::{FaultAction, FaultPlan, FaultRule, FaultSite, FiredFault, VerbKind};
 pub use master::{FailureEvent, Master, MembershipView};

@@ -18,13 +18,14 @@
 
 use crate::addr::{GlobalAddr, NodeId};
 use crate::cluster::{Cluster, MemoryNode};
+use crate::cq::SimCq;
 use crate::error::{RdmaError, Result};
 use crate::fault::{FaultAction, FaultPlan, FaultSite, VerbKind};
 use crate::rpc::RpcClient;
 use crate::stats::{OpKind, OpRecord, OpStats, VerbCounters};
 use crate::trace::{TraceEvent, TraceOp};
 use parking_lot::Mutex;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
 #[derive(Default)]
@@ -56,6 +57,18 @@ enum VerbClass {
     Faa,
 }
 
+/// Modeled latency accrued since the last [`DmClient::settle`]. Only
+/// maintained while a completion queue is attached; independent of the
+/// per-op profile so preload and background paths accrue too.
+#[derive(Default)]
+struct Accrual {
+    /// Microseconds of fabric wait owed to the completion queue.
+    us: f64,
+    /// The next verb is the first of an outermost doorbell batch (pays a
+    /// full round trip; the chained rest pay only the posting tax).
+    batch_first: bool,
+}
+
 /// Marker type returned by [`DmClient::batch`] scopes; exists so the closure
 /// signature documents that verbs inside share one round trip.
 pub struct WriteBatch;
@@ -72,6 +85,12 @@ pub struct DmClient {
     ops: Mutex<OpStats>,
     cur: Mutex<CurOp>,
     fault: Mutex<Option<Arc<FaultPlan>>>,
+    /// Attached completion queue, if this client runs in async mode.
+    cq: Mutex<Option<Arc<SimCq>>>,
+    /// Fast-path flag mirroring `cq.is_some()`.
+    cq_on: AtomicBool,
+    /// Latency accrued since the last [`DmClient::settle`].
+    accr: Mutex<Accrual>,
     /// Dense per-cluster id identifying this client in verb traces.
     trace_id: u32,
     /// Per-client event sequence number for the trace stream.
@@ -88,6 +107,9 @@ impl DmClient {
             ops: Mutex::new(OpStats::new()),
             cur: Mutex::new(CurOp::default()),
             fault: Mutex::new(None),
+            cq: Mutex::new(None),
+            cq_on: AtomicBool::new(false),
+            accr: Mutex::new(Accrual::default()),
             trace_id,
             trace_seq: AtomicU64::new(0),
         }
@@ -240,6 +262,46 @@ impl DmClient {
                 ctr.batched.fetch_add(1, Ordering::Relaxed);
             }
         }
+        self.accrue_verb(in_batch, batchable, rd + wr);
+    }
+
+    /// Accrues one verb's modeled latency toward the next
+    /// [`DmClient::settle`], mirroring [`crate::CostModel`]'s base-latency
+    /// accounting: an unbatched verb (or the first of a doorbell batch)
+    /// costs a full round trip, a chained batchable verb costs only the
+    /// posting tax, and every verb pays its wire bytes.
+    #[inline]
+    fn accrue_verb(&self, in_batch: bool, batchable: bool, bytes: usize) {
+        if !self.cq_on.load(Ordering::Relaxed) {
+            return;
+        }
+        let cost = &self.cluster.cost;
+        let mut a = self.accr.lock();
+        let base = if in_batch {
+            if a.batch_first {
+                a.batch_first = false;
+                cost.rtt_us
+            } else if batchable {
+                cost.post_us
+            } else {
+                // CAS inside a batch: the release edge is never chained, so
+                // it is charged like an unbatched verb.
+                cost.rtt_us
+            }
+        } else {
+            cost.rtt_us
+        };
+        a.us += base + bytes as f64 / cost.node_bw * 1e6;
+    }
+
+    /// Accrues one RPC round trip toward the next [`DmClient::settle`].
+    #[inline]
+    fn accrue_rpc(&self, bytes: usize) {
+        if !self.cq_on.load(Ordering::Relaxed) {
+            return;
+        }
+        let cost = &self.cluster.cost;
+        self.accr.lock().us += cost.rpc_rtt_us + bytes as f64 / cost.node_bw * 1e6;
     }
 
     /// `RDMA_READ`: reads `dst.len()` bytes at `addr`.
@@ -359,18 +421,27 @@ impl DmClient {
     /// assert_eq!((record.batches, record.batched_verbs), (1, 2));
     /// ```
     pub fn batch<R>(&self, f: impl FnOnce(&Self) -> R) -> R {
-        {
+        let outermost = {
             let mut cur = self.cur.lock();
             cur.batch_depth += 1;
             if cur.batch_depth == 1 {
                 cur.batch_rtt_counted = false;
                 cur.batch_verbs = 0;
             }
+            cur.batch_depth == 1
+        };
+        if outermost && self.cq_on.load(Ordering::Relaxed) {
+            self.accr.lock().batch_first = true;
         }
         let r = f(self);
-        {
+        let closed = {
             let mut cur = self.cur.lock();
             cur.batch_depth -= 1;
+            cur.batch_depth == 0
+        };
+        if closed && self.cq_on.load(Ordering::Relaxed) {
+            // An empty batch posts nothing; drop the unconsumed marker.
+            self.accr.lock().batch_first = false;
         }
         r
     }
@@ -405,12 +476,15 @@ impl DmClient {
             ctr.read_bytes
                 .fetch_add(RESP_BYTES as u64, Ordering::Relaxed);
         }
-        let mut cur = self.cur.lock();
-        if cur.active {
-            cur.rpcs += 1;
-            cur.write_bytes = cur.write_bytes.saturating_add(req_bytes as u32);
-            cur.read_bytes = cur.read_bytes.saturating_add(RESP_BYTES as u32);
+        {
+            let mut cur = self.cur.lock();
+            if cur.active {
+                cur.rpcs += 1;
+                cur.write_bytes = cur.write_bytes.saturating_add(req_bytes as u32);
+                cur.read_bytes = cur.read_bytes.saturating_add(RESP_BYTES as u32);
+            }
         }
+        self.accrue_rpc(req_bytes + RESP_BYTES);
         Ok(resp)
     }
 
@@ -438,12 +512,61 @@ impl DmClient {
             ctr.write_bytes
                 .fetch_add(req_bytes as u64, Ordering::Relaxed);
         }
-        let mut cur = self.cur.lock();
-        if cur.active {
-            cur.rpcs += 1;
-            cur.write_bytes = cur.write_bytes.saturating_add(req_bytes as u32);
+        {
+            let mut cur = self.cur.lock();
+            if cur.active {
+                cur.rpcs += 1;
+                cur.write_bytes = cur.write_bytes.saturating_add(req_bytes as u32);
+            }
         }
+        self.accrue_rpc(req_bytes);
         Ok(())
+    }
+
+    /// Attaches a completion queue, switching this client to async cost
+    /// accounting: verbs keep their synchronous memory effects but their
+    /// modeled latency accrues until the next [`DmClient::settle`] instead
+    /// of being treated as blocking time. Many clients on one executor
+    /// thread share one CQ.
+    pub fn attach_cq(&self, cq: Arc<SimCq>) {
+        *self.accr.lock() = Accrual::default();
+        *self.cq.lock() = Some(cq);
+        self.cq_on.store(true, Ordering::Release);
+    }
+
+    /// Detaches the completion queue, returning to blocking accounting.
+    /// Any unsettled accrual is dropped.
+    pub fn detach_cq(&self) {
+        self.cq_on.store(false, Ordering::Release);
+        *self.cq.lock() = None;
+        *self.accr.lock() = Accrual::default();
+    }
+
+    /// The attached completion queue, if any.
+    pub fn cq(&self) -> Option<Arc<SimCq>> {
+        if !self.cq_on.load(Ordering::Acquire) {
+            return None;
+        }
+        self.cq.lock().clone()
+    }
+
+    /// Suspends until the virtual clock covers all latency accrued since
+    /// the previous settle — the async analogue of "wait for the round
+    /// trip". Async client ops call this at every point the real protocol
+    /// blocks on the fabric. A no-op (and never suspends) when no CQ is
+    /// attached or nothing has accrued.
+    pub async fn settle(&self) {
+        if !self.cq_on.load(Ordering::Acquire) {
+            return;
+        }
+        let us = std::mem::take(&mut self.accr.lock().us);
+        if us <= 0.0 {
+            return;
+        }
+        let cq = self.cq.lock().clone();
+        if let Some(cq) = cq {
+            cq.complete_in(us).await;
+        }
     }
 
     /// Starts profiling a KV operation.
@@ -609,6 +732,44 @@ mod tests {
         cl.write(a, &[0u8; 8]).unwrap();
         let r = cl.end_op(OpKind::Update).unwrap();
         assert_eq!((r.batch_max, r.batches, r.batched_verbs), (0, 0, 0));
+    }
+
+    #[test]
+    fn cq_accrual_matches_blocking_cost_model() {
+        use crate::cq::{block_on, SimCq};
+        let c = cluster();
+        let cl = c.client();
+        let cq = Arc::new(SimCq::new());
+        cl.attach_cq(Arc::clone(&cq));
+        let a = GlobalAddr::new(NodeId(0), 0);
+        let cost = c.cost;
+
+        // Unbatched write + read: two full round trips plus wire bytes.
+        cl.write(a, &[0u8; 64]).unwrap();
+        let _ = cl.read_vec(a, 64).unwrap();
+        block_on(Some(Arc::clone(&cq)), cl.settle());
+        let expect = 2.0 * cost.rtt_us + 2.0 * 64.0 / cost.node_bw * 1e6;
+        assert!((cq.now_us() - expect).abs() < 1e-3, "{}", cq.now_us());
+
+        // A doorbell batch: first verb pays the RTT, chained ones the
+        // posting tax — same shape as `CostModel::base_latency_us`.
+        let before = cq.now_us();
+        cl.batch(|cl| {
+            for i in 0..3u64 {
+                cl.write(a.add(64 + i * 8), &[0u8; 8]).unwrap();
+            }
+        });
+        block_on(Some(Arc::clone(&cq)), cl.settle());
+        let batch_us = cost.rtt_us + 2.0 * cost.post_us + 3.0 * 8.0 / cost.node_bw * 1e6;
+        assert!((cq.now_us() - before - batch_us).abs() < 1e-3);
+
+        // Settle with nothing accrued never suspends; detaching stops
+        // accrual entirely.
+        block_on(Some(Arc::clone(&cq)), cl.settle());
+        cl.detach_cq();
+        cl.write(a, &[0u8; 8]).unwrap();
+        block_on(None, cl.settle());
+        assert_eq!(cq.pending(), 0);
     }
 
     #[test]

@@ -49,6 +49,7 @@ fn small_client_count_binds_on_round_trips() {
         records: (0..1000)
             .map(|_| rec(OpKind::Update, 6, 8, 1, 256, 1024))
             .collect(),
+        pipeline_depth: None,
     };
     let r = model.report(&m);
     assert_eq!(r.bottleneck, Bottleneck::ClientRtt);
@@ -67,6 +68,7 @@ fn background_over_line_rate_clamps() {
         records: (0..1000)
             .map(|_| rec(OpKind::Search, 1, 1, 0, 4096, 0))
             .collect(),
+        pipeline_depth: None,
     };
     let r = model.report(&m);
     assert!(r.mops > 0.0 && r.mops.is_finite());
@@ -87,6 +89,7 @@ fn latency_percentiles_ordered_and_retry_sensitive() {
                 rec(OpKind::Update, 3 + extra, 4 + extra, 1, 16, 1024)
             })
             .collect(),
+        pipeline_depth: None,
     };
     let calm = model.latency(&mk(1000), Some(OpKind::Update));
     let contended = model.latency(&mk(4), Some(OpKind::Update));
@@ -114,6 +117,7 @@ fn latency_filter_by_kind() {
                 ]
             })
             .collect(),
+        pipeline_depth: None,
     };
     let s = model.latency(&m, Some(OpKind::Search));
     let u = model.latency(&m, Some(OpKind::Update));
@@ -136,6 +140,7 @@ fn hot_node_binds() {
         records: (0..10_000)
             .map(|_| rec(OpKind::Update, 2, 2, 1, 0, 100))
             .collect(),
+        pipeline_depth: None,
     };
     let r = model.report(&m);
     assert_eq!(r.bottleneck, Bottleneck::NodeAtomics(0));

@@ -1,0 +1,579 @@
+//! `aceso-rt`: a single-thread coroutine runtime for the Aceso client.
+//!
+//! The paper's testbed saturates its NICs with 184 client threads running
+//! *coroutines* — each thread keeps many requests in flight, suspending an
+//! op at every fabric round-trip and resuming another. This crate is the
+//! reproduction's stand-in: a dependency-free, hand-rolled futures executor
+//! (no tokio; the build environment is offline) in which **one OS thread
+//! multiplexes hundreds of in-flight client operations** over the simulated
+//! fabric in `aceso-rdma`.
+//!
+//! The executor is deliberately minimal:
+//!
+//! * a slab of tasks (`Pin<Box<dyn Future>>`) with a free list,
+//! * one [`std::task::Waker`] per task (built from [`std::task::Wake`],
+//!   no unsafe) with a de-duplicating `queued` bit,
+//! * a shared ready queue drained by [`Executor::run_until_idle`], which
+//!   calls a caller-supplied *driver* closure whenever every live task is
+//!   suspended — in Aceso that closure advances the simulated completion
+//!   queue ([`aceso-rdma`'s `SimCq`]) to its next completion deadline.
+//!
+//! There is no timer wheel, no I/O reactor and no work stealing: the only
+//! event source is the driver closure, which keeps schedules deterministic
+//! — the same seed replays the identical interleaving, which the chaos
+//! harness and the happens-before sanitizer rely on.
+//!
+//! # Example
+//!
+//! ```
+//! use aceso_rt::Executor;
+//!
+//! let mut ex = Executor::new();
+//! let h = ex.spawn(async { 6 * 7 });
+//! // No external events needed: the driver closure is never consulted
+//! // for tasks that complete without suspending.
+//! assert_eq!(ex.run_until_idle(|| false), 0);
+//! assert_eq!(h.take(), Some(42));
+//! ```
+//!
+//! Metrics: when built with [`Executor::with_obs`], the executor records
+//! `rt.tasks_spawned`, `rt.tasks_finished`, `rt.polls` and `rt.wakeups`
+//! counters plus an `rt.inflight` gauge into the supplied
+//! [`aceso_obs::Obs`] recorder.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use aceso_obs::{Counter, Gauge, Obs};
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::future::Future;
+use std::pin::Pin;
+use std::rc::Rc;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::task::{Context, Poll, Wake, Waker};
+
+/// Identity of a spawned task: slab index plus a generation counter, so a
+/// stale id (finished or cancelled task whose slot was reused) can never
+/// cancel or wake its successor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TaskId {
+    index: usize,
+    gen: u64,
+}
+
+/// State shared between the executor and every task waker.
+struct Shared {
+    /// Task ids that have been woken and await a poll.
+    ready: Mutex<VecDeque<TaskId>>,
+    /// Wakeups delivered since the executor last flushed metrics.
+    wakeups: AtomicU64,
+}
+
+/// Per-task waker: pushes the task id onto the shared ready queue.
+///
+/// The `queued` bit de-duplicates wakes — N wakes between two polls cost
+/// one queue entry — and makes wake-before-poll safe: a task spawned (or
+/// woken while queued) is simply not re-enqueued.
+struct TaskWaker {
+    shared: Arc<Shared>,
+    id: TaskId,
+    queued: AtomicBool,
+}
+
+impl Wake for TaskWaker {
+    fn wake(self: Arc<Self>) {
+        self.wake_by_ref();
+    }
+
+    fn wake_by_ref(self: &Arc<Self>) {
+        if !self.queued.swap(true, Ordering::AcqRel) {
+            self.shared.wakeups.fetch_add(1, Ordering::Relaxed);
+            self.shared.ready.lock().unwrap().push_back(self.id);
+        }
+    }
+}
+
+/// A live task: the wrapped future plus its dedicated waker.
+struct Task {
+    fut: Pin<Box<dyn Future<Output = ()>>>,
+    waker: Arc<TaskWaker>,
+    gen: u64,
+}
+
+/// Handle to a spawned task's eventual output.
+///
+/// The executor is single-threaded, so the handle is a plain shared cell:
+/// poll it with [`JoinHandle::take`] after [`Executor::run_until_idle`]
+/// returns (or between calls). A cancelled task never fills its cell.
+pub struct JoinHandle<T> {
+    cell: Rc<RefCell<Option<T>>>,
+    id: TaskId,
+}
+
+impl<T> JoinHandle<T> {
+    /// The spawned task's id (for [`Executor::cancel`]).
+    pub fn id(&self) -> TaskId {
+        self.id
+    }
+
+    /// Whether the task has completed and its output is available.
+    pub fn is_finished(&self) -> bool {
+        self.cell.borrow().is_some()
+    }
+
+    /// Takes the task's output if it has completed. Returns `None` while
+    /// the task is still in flight, after the output was already taken,
+    /// or if the task was cancelled.
+    pub fn take(&self) -> Option<T> {
+        self.cell.borrow_mut().take()
+    }
+}
+
+/// Pre-resolved metric handles (see crate docs for the name glossary).
+struct Metrics {
+    spawned: Counter,
+    finished: Counter,
+    polls: Counter,
+    wakeups: Counter,
+    inflight: Gauge,
+}
+
+/// A single-thread futures executor with an external event driver.
+///
+/// Tasks are spawned with [`Executor::spawn`] and run with
+/// [`Executor::run_until_idle`]; the driver closure passed to the latter
+/// is the executor's only event source (see crate docs).
+pub struct Executor {
+    slots: Vec<Option<Task>>,
+    free: Vec<usize>,
+    shared: Arc<Shared>,
+    next_gen: u64,
+    inflight: usize,
+    peak: usize,
+    metrics: Option<Metrics>,
+}
+
+impl Executor {
+    /// A fresh executor with metrics recording disabled.
+    pub fn new() -> Self {
+        Self::with_obs(Obs::off())
+    }
+
+    /// A fresh executor recording `rt.*` metrics into `obs` (no-op when
+    /// `obs` is [`Obs::off`]).
+    pub fn with_obs(obs: Obs) -> Self {
+        let metrics = obs.registry().map(|r| Metrics {
+            spawned: r.counter("rt.tasks_spawned"),
+            finished: r.counter("rt.tasks_finished"),
+            polls: r.counter("rt.polls"),
+            wakeups: r.counter("rt.wakeups"),
+            inflight: r.gauge("rt.inflight"),
+        });
+        Executor {
+            slots: Vec::new(),
+            free: Vec::new(),
+            shared: Arc::new(Shared {
+                ready: Mutex::new(VecDeque::new()),
+                wakeups: AtomicU64::new(0),
+            }),
+            next_gen: 0,
+            inflight: 0,
+            peak: 0,
+            metrics,
+        }
+    }
+
+    /// Spawns `fut` and returns a handle to its output.
+    ///
+    /// The task is queued for its first poll immediately; nothing runs
+    /// until [`Executor::run_until_idle`].
+    ///
+    /// ```
+    /// let mut ex = aceso_rt::Executor::new();
+    /// let h = ex.spawn(async { "done" });
+    /// assert!(!h.is_finished());
+    /// ex.run_until_idle(|| false);
+    /// assert_eq!(h.take(), Some("done"));
+    /// ```
+    pub fn spawn<T: 'static>(&mut self, fut: impl Future<Output = T> + 'static) -> JoinHandle<T> {
+        let cell = Rc::new(RefCell::new(None));
+        let out = Rc::clone(&cell);
+        let wrapped = async move {
+            *out.borrow_mut() = Some(fut.await);
+        };
+        let index = self.free.pop().unwrap_or_else(|| {
+            self.slots.push(None);
+            self.slots.len() - 1
+        });
+        self.next_gen += 1;
+        let id = TaskId {
+            index,
+            gen: self.next_gen,
+        };
+        let waker = Arc::new(TaskWaker {
+            shared: Arc::clone(&self.shared),
+            id,
+            // Spawned tasks start queued: a wake delivered before the
+            // first poll is already satisfied (wake-before-poll).
+            queued: AtomicBool::new(true),
+        });
+        self.slots[index] = Some(Task {
+            fut: Box::pin(wrapped),
+            waker,
+            gen: id.gen,
+        });
+        self.shared.ready.lock().unwrap().push_back(id);
+        self.inflight += 1;
+        self.peak = self.peak.max(self.inflight);
+        if let Some(m) = &self.metrics {
+            m.spawned.inc();
+            m.inflight.set(self.inflight as f64);
+        }
+        JoinHandle { cell, id }
+    }
+
+    /// Runs until every task has completed, or until the executor is
+    /// *stuck*: all live tasks suspended, nothing ready, and the driver
+    /// closure returned `false` (no more external events).
+    ///
+    /// `drive` is called whenever the ready queue is empty but tasks are
+    /// still in flight; it should deliver one batch of external events
+    /// (e.g. advance a simulated completion queue) and return whether it
+    /// made progress. Returns the number of tasks still in flight — `0`
+    /// means the executor ran to idle.
+    pub fn run_until_idle(&mut self, mut drive: impl FnMut() -> bool) -> usize {
+        loop {
+            loop {
+                let id = self.shared.ready.lock().unwrap().pop_front();
+                let Some(id) = id else { break };
+                self.poll_task(id);
+            }
+            self.flush_wakeups();
+            if self.inflight == 0 {
+                return 0;
+            }
+            if !drive() {
+                return self.inflight;
+            }
+        }
+    }
+
+    /// Cancels a task: its future is dropped in place (running any
+    /// destructors — locks released, guards dropped), its output cell is
+    /// never filled. Returns whether the task was still live.
+    pub fn cancel(&mut self, id: TaskId) -> bool {
+        let live = self
+            .slots
+            .get(id.index)
+            .and_then(|s| s.as_ref())
+            .is_some_and(|t| t.gen == id.gen);
+        if !live {
+            return false;
+        }
+        self.slots[id.index] = None;
+        self.free.push(id.index);
+        self.inflight -= 1;
+        if let Some(m) = &self.metrics {
+            m.inflight.set(self.inflight as f64);
+        }
+        true
+    }
+
+    /// Number of tasks currently in flight (spawned, not yet finished or
+    /// cancelled).
+    pub fn inflight(&self) -> usize {
+        self.inflight
+    }
+
+    /// High-water mark of concurrently in-flight tasks over the
+    /// executor's lifetime.
+    pub fn peak_inflight(&self) -> usize {
+        self.peak
+    }
+
+    fn poll_task(&mut self, id: TaskId) {
+        let Some(slot) = self.slots.get_mut(id.index) else {
+            return;
+        };
+        let Some(task) = slot.take() else { return };
+        if task.gen != id.gen {
+            // Stale wake for a finished/cancelled predecessor.
+            *slot = Some(task);
+            return;
+        }
+        let mut task = task;
+        // Clear the queued bit *before* polling so a wake delivered
+        // during the poll re-enqueues the task.
+        task.waker.queued.store(false, Ordering::Release);
+        let waker = Waker::from(Arc::clone(&task.waker));
+        let mut cx = Context::from_waker(&waker);
+        if let Some(m) = &self.metrics {
+            m.polls.inc();
+        }
+        match task.fut.as_mut().poll(&mut cx) {
+            Poll::Ready(()) => {
+                self.free.push(id.index);
+                self.inflight -= 1;
+                if let Some(m) = &self.metrics {
+                    m.finished.inc();
+                    m.inflight.set(self.inflight as f64);
+                }
+            }
+            Poll::Pending => {
+                self.slots[id.index] = Some(task);
+            }
+        }
+    }
+
+    fn flush_wakeups(&self) {
+        let n = self.shared.wakeups.swap(0, Ordering::Relaxed);
+        if n > 0 {
+            if let Some(m) = &self.metrics {
+                m.wakeups.add(n);
+            }
+        }
+    }
+}
+
+impl Default for Executor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A future that suspends exactly once, waking itself immediately — the
+/// cooperative yield point.
+///
+/// ```
+/// let mut ex = aceso_rt::Executor::new();
+/// let h = ex.spawn(async {
+///     aceso_rt::yield_now().await;
+///     7
+/// });
+/// assert_eq!(ex.run_until_idle(|| false), 0);
+/// assert_eq!(h.take(), Some(7));
+/// ```
+pub fn yield_now() -> impl Future<Output = ()> {
+    struct YieldNow(bool);
+    impl Future for YieldNow {
+        type Output = ();
+        fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+            if self.0 {
+                Poll::Ready(())
+            } else {
+                self.0 = true;
+                cx.waker().wake_by_ref();
+                Poll::Pending
+            }
+        }
+    }
+    YieldNow(false)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aceso_obs::Registry;
+
+    /// A mock completion queue: futures park here and are released one at
+    /// a time by the test's driver closure, mimicking `SimCq`.
+    #[derive(Default)]
+    struct MockCq {
+        parked: RefCell<VecDeque<(Rc<RefCell<bool>>, Waker)>>,
+    }
+
+    impl MockCq {
+        fn wait(self: &Rc<Self>) -> impl Future<Output = ()> {
+            struct Wait {
+                cq: Rc<MockCq>,
+                done: Rc<RefCell<bool>>,
+                parked: bool,
+            }
+            impl Future for Wait {
+                type Output = ();
+                fn poll(mut self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+                    if *self.done.borrow() {
+                        return Poll::Ready(());
+                    }
+                    if !self.parked {
+                        self.parked = true;
+                        self.cq
+                            .parked
+                            .borrow_mut()
+                            .push_back((Rc::clone(&self.done), cx.waker().clone()));
+                    }
+                    Poll::Pending
+                }
+            }
+            Wait {
+                cq: Rc::clone(self),
+                done: Rc::new(RefCell::new(false)),
+                parked: false,
+            }
+        }
+
+        /// Completes the oldest parked waiter; returns whether one existed.
+        fn complete_next(&self) -> bool {
+            match self.parked.borrow_mut().pop_front() {
+                Some((done, waker)) => {
+                    *done.borrow_mut() = true;
+                    waker.wake();
+                    true
+                }
+                None => false,
+            }
+        }
+    }
+
+    #[test]
+    fn run_until_idle_terminates_without_events() {
+        let mut ex = Executor::new();
+        for i in 0..10 {
+            ex.spawn(async move {
+                yield_now().await;
+                i * 2
+            });
+        }
+        assert_eq!(ex.inflight(), 10);
+        assert_eq!(ex.run_until_idle(|| false), 0);
+        assert_eq!(ex.inflight(), 0);
+        assert_eq!(ex.peak_inflight(), 10);
+    }
+
+    #[test]
+    fn wake_before_poll_is_not_lost() {
+        // The waker fires before the executor ever polls the future: the
+        // task must still run to completion (spawned tasks start queued,
+        // and a double wake folds into one queue entry).
+        let mut ex = Executor::new();
+        let external: Rc<RefCell<Option<Waker>>> = Rc::new(RefCell::new(None));
+        let ext2 = Rc::clone(&external);
+        let fired = Rc::new(RefCell::new(false));
+        let fired2 = Rc::clone(&fired);
+        struct Once {
+            slot: Rc<RefCell<Option<Waker>>>,
+            fired: Rc<RefCell<bool>>,
+        }
+        impl Future for Once {
+            type Output = ();
+            fn poll(self: Pin<&mut Self>, cx: &mut Context<'_>) -> Poll<()> {
+                if *self.fired.borrow() {
+                    return Poll::Ready(());
+                }
+                *self.slot.borrow_mut() = Some(cx.waker().clone());
+                Poll::Pending
+            }
+        }
+        let h = ex.spawn(Once {
+            slot: ext2,
+            fired: fired2,
+        });
+        let drove = RefCell::new(false);
+        let stuck = ex.run_until_idle(|| {
+            // First drive call: the task is suspended. Fire the external
+            // wake and also wake it a second time — the duplicate must
+            // coalesce rather than double-poll or panic.
+            if *drove.borrow() {
+                return false;
+            }
+            *drove.borrow_mut() = true;
+            *fired.borrow_mut() = true;
+            let w = external.borrow().clone().unwrap();
+            w.wake_by_ref();
+            w.wake();
+            true
+        });
+        assert_eq!(stuck, 0);
+        assert!(h.is_finished());
+    }
+
+    #[test]
+    fn drop_mid_suspend_cancels_cleanly() {
+        struct Guard(Rc<RefCell<bool>>);
+        impl Drop for Guard {
+            fn drop(&mut self) {
+                *self.0.borrow_mut() = true;
+            }
+        }
+        let cq: Rc<MockCq> = Rc::default();
+        let dropped = Rc::new(RefCell::new(false));
+        let mut ex = Executor::new();
+        let g = Guard(Rc::clone(&dropped));
+        let cq2 = Rc::clone(&cq);
+        let h = ex.spawn(async move {
+            let _g = g;
+            cq2.wait().await; // suspends forever; the guard lives across it
+            unreachable!("completion never delivered");
+        });
+        // One pass: the task parks on the mock CQ.
+        assert_eq!(ex.run_until_idle(|| false), 1);
+        assert!(!*dropped.borrow());
+        // Cancel while suspended: destructor must run, slot must free.
+        assert!(ex.cancel(h.id()));
+        assert!(*dropped.borrow());
+        assert_eq!(ex.inflight(), 0);
+        assert!(!h.is_finished());
+        // A second cancel (stale id) is a no-op, as is its late wake.
+        assert!(!ex.cancel(h.id()));
+        assert!(cq.complete_next());
+        assert_eq!(ex.run_until_idle(|| false), 0);
+    }
+
+    #[test]
+    fn two_task_ping_pong_over_mock_cq() {
+        let cq: Rc<MockCq> = Rc::default();
+        let log: Rc<RefCell<Vec<&'static str>>> = Rc::default();
+        let mut ex = Executor::new();
+        for name in ["ping", "pong"] {
+            let cq = Rc::clone(&cq);
+            let log = Rc::clone(&log);
+            ex.spawn(async move {
+                for _ in 0..3 {
+                    cq.wait().await;
+                    log.borrow_mut().push(name);
+                }
+            });
+        }
+        // Driver: release one completion per call, strictly alternating
+        // the two tasks since the CQ is FIFO.
+        assert_eq!(ex.run_until_idle(|| cq.complete_next()), 0);
+        assert_eq!(
+            *log.borrow(),
+            ["ping", "pong", "ping", "pong", "ping", "pong"]
+        );
+    }
+
+    #[test]
+    fn slab_reuses_slots_and_generations_protect_ids() {
+        let mut ex = Executor::new();
+        let a = ex.spawn(async {});
+        ex.run_until_idle(|| false);
+        let b = ex.spawn(async { yield_now().await });
+        // Same slab slot, different generation: the stale id must not
+        // cancel the new occupant.
+        assert!(!ex.cancel(a.id()));
+        assert_eq!(ex.inflight(), 1);
+        assert!(ex.cancel(b.id()));
+    }
+
+    #[test]
+    fn metrics_record_spawn_poll_wake_finish() {
+        let reg = Registry::new();
+        let mut ex = Executor::with_obs(Obs::on(reg.clone()));
+        for _ in 0..4 {
+            ex.spawn(async {
+                yield_now().await;
+            });
+        }
+        assert_eq!(ex.run_until_idle(|| false), 0);
+        let snap = reg.snapshot();
+        assert_eq!(snap.counter("rt.tasks_spawned"), Some(4));
+        assert_eq!(snap.counter("rt.tasks_finished"), Some(4));
+        // Each task polls twice (initial + after yield) and wakes once.
+        assert_eq!(snap.counter("rt.polls"), Some(8));
+        assert_eq!(snap.counter("rt.wakeups"), Some(4));
+        assert_eq!(snap.gauge("rt.inflight"), Some(0.0));
+    }
+}

@@ -66,6 +66,7 @@ fn main() {
                 .collect(),
             bg_bytes_per_sec: vec![],
             records: client.dm.take_ops().records,
+            pipeline_depth: None,
         };
         let aceso_mops = store.cfg.cost.report(&m).mops;
         store.shutdown();
@@ -112,6 +113,7 @@ fn main() {
                 .collect(),
             bg_bytes_per_sec: vec![],
             records: fclient.dm.take_ops().records,
+            pipeline_depth: None,
         };
         let fusee_mops = fstore.cfg.cost.report(&m).mops;
 
