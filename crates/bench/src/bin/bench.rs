@@ -49,7 +49,13 @@ fn usage() -> ! {
          \n\
          Sweeps coroutine clients per OS thread (doubling from 1) until\n\
          the modeled NIC binds; writes the table to results/clients.txt\n\
-         (or --out)."
+         (or --out).\n\
+         \n\
+         usage: bench elastic [--seed <hex>] [--out <path>]\n\
+         \n\
+         Measures client throughput between every step of an online\n\
+         join and drain migration; writes the table to\n\
+         results/elastic.txt (or --out)."
     );
     std::process::exit(2);
 }
@@ -62,6 +68,7 @@ fn main() {
     let mut out = match cmd {
         Some("quick") => "BENCH_PR4.json".to_string(),
         Some("clients") => "results/clients.txt".to_string(),
+        Some("elastic") => "results/elastic.txt".to_string(),
         _ => usage(),
     };
     let mut it = args[1..].iter();
@@ -91,6 +98,12 @@ fn main() {
             let sweep = aceso_bench::clients_sweep(seed);
             print!("{}", sweep.render());
             std::fs::write(&out, sweep.render()).expect("write sweep");
+            println!("wrote {out}");
+        }
+        Some("elastic") => {
+            let slice = aceso_bench::elastic_slice(seed);
+            print!("{}", slice.render());
+            std::fs::write(&out, slice.render()).expect("write slice");
             println!("wrote {out}");
         }
         _ => usage(),

@@ -17,10 +17,12 @@
 #![forbid(unsafe_code)]
 
 pub mod clients;
+pub mod elastic;
 pub mod figs;
 pub mod harness;
 
 pub use clients::{clients_sweep, ClientsSweep, SweepRow};
+pub use elastic::{elastic_slice, ElasticPhase, ElasticSlice};
 pub use harness::{BenchScale, Phase};
 
 /// Formats a Mops number for tables.

@@ -1,7 +1,7 @@
 //! `chaos analyze` — the happens-before race detector driven over the
 //! executions the harness already produces.
 //!
-//! Four stages, all seeded from one master seed:
+//! Five stages, all seeded from one master seed:
 //!
 //! 1. **Traced sweep** — every cell of the (CI or full) crash matrix runs
 //!    under a fresh [`aceso_san::Detector`], with the identical per-cell
@@ -15,17 +15,23 @@
 //!    the detector: coroutine clients interleave at *round-trip*
 //!    granularity on one OS thread, so per-client trace ids must survive
 //!    the interleaving for the happens-before graph to stay sound.
-//! 4. **Liveness + lints** — the mutation self-tests
+//! 4. **Elastic-axis trace** — a representative slice of the
+//!    kill-mid-rebalance matrix ([`crate::elastic_axis`]) reruns under the
+//!    detector: client verbs interleave with the migrator's fence installs
+//!    and copy RPCs, so every cross-epoch handoff (stale write → fence
+//!    bounce → refreshed write) must be RPC- or barrier-ordered.
+//! 5. **Liveness + lints** — the mutation self-tests
 //!    ([`aceso_san::selftest`]) prove each ordering edge is actually
 //!    checked (a weakened edge must produce a report), and the static
 //!    protocol lints ([`aceso_san::lint`]) check layout constants and
 //!    `CrashPoint` wiring.
 //!
-//! The run is clean only when all four stages are: zero races, zero
+//! The run is clean only when all five stages are: zero races, zero
 //! detector violations, every self-test live, zero lint findings — and the
 //! traced cells still hold their invariants.
 
 use crate::cell::Cell;
+use crate::elastic_axis::{run_elastic_cell_with_sink, ElasticBoundary, ElasticCell, ElasticKill};
 use crate::rt_axis::{run_rt_cell_with_sink, RtKill};
 use crate::runner::{chaos_config, run_cell_with_sink};
 use crate::sweep::cell_seeds;
@@ -103,6 +109,31 @@ impl RtTrace {
     }
 }
 
+/// Detector findings for one traced elastic-axis cell (a node or client
+/// dies at a migrator step boundary under live traffic).
+#[derive(Clone, Debug)]
+pub struct ElasticTrace {
+    /// The cell that ran.
+    pub cell: ElasticCell,
+    /// Client ops that committed while the migration was in flight.
+    pub committed_ops: usize,
+    /// Events the detector processed.
+    pub events: u64,
+    /// Rendered races the detector reported.
+    pub races: Vec<String>,
+    /// Detector violations (misaligned atomics seen in the trace).
+    pub detector_violations: Vec<String>,
+    /// Invariant violations from the cell run itself.
+    pub cell_violations: Vec<String>,
+}
+
+impl ElasticTrace {
+    /// `true` when the cell raced nowhere and held its invariants.
+    pub fn ok(&self) -> bool {
+        self.races.is_empty() && self.detector_violations.is_empty() && self.cell_violations.is_empty()
+    }
+}
+
 /// Everything one `chaos analyze` run produced.
 #[derive(Clone, Debug)]
 pub struct AnalyzeReport {
@@ -114,6 +145,8 @@ pub struct AnalyzeReport {
     pub ycsb: YcsbTrace,
     /// The runtime-axis trace findings (one per [`RtKill`]).
     pub rt: Vec<RtTrace>,
+    /// The elastic-axis trace findings (one per traced cell).
+    pub elastic: Vec<ElasticTrace>,
     /// Mutation self-test outcomes (detector liveness proof).
     pub selftests: Vec<SelftestOutcome>,
     /// Static protocol lint findings.
@@ -127,6 +160,7 @@ impl AnalyzeReport {
             && self.ycsb.races.is_empty()
             && self.ycsb.errors.is_empty()
             && self.rt.iter().all(RtTrace::ok)
+            && self.elastic.iter().all(ElasticTrace::ok)
             && self.selftests.iter().all(SelftestOutcome::ok)
             && self.lint_violations.is_empty()
     }
@@ -181,6 +215,24 @@ impl AnalyzeReport {
                 t.kill.label(),
                 t.tasks,
                 t.inflight_at_fault,
+                t.events,
+                t.races.len()
+            ));
+            for r in &t.races {
+                s.push_str(&format!("    race: {r}\n"));
+            }
+            for v in &t.detector_violations {
+                s.push_str(&format!("    detector: {v}\n"));
+            }
+            for v in &t.cell_violations {
+                s.push_str(&format!("    invariant: {v}\n"));
+            }
+        }
+        for t in &self.elastic {
+            s.push_str(&format!(
+                "  elastic {}: {} ops under migration, {} events, {} races\n",
+                t.cell,
+                t.committed_ops,
                 t.events,
                 t.races.len()
             ));
@@ -385,7 +437,45 @@ pub fn analyze_rt(seed: u64) -> Vec<RtTrace> {
         .collect()
 }
 
-/// Runs all four stages.
+/// A representative slice of the elastic axis, traced: the abort path
+/// (join target dies mid-copy), the rebuild path (drain source dies at
+/// announce), and a CN crash at the publish handover. Client verbs
+/// interleave with the migrator's fence installs and copy RPCs; the
+/// detector must order every stale-write → fence-bounce → refreshed-write
+/// handoff.
+pub fn analyze_elastic(seed: u64) -> Vec<ElasticTrace> {
+    [
+        ElasticCell {
+            kill: ElasticKill::JoinMn,
+            boundary: ElasticBoundary::Copy,
+        },
+        ElasticCell {
+            kill: ElasticKill::DrainMn,
+            boundary: ElasticBoundary::Announce,
+        },
+        ElasticCell {
+            kill: ElasticKill::Cn,
+            boundary: ElasticBoundary::Publish,
+        },
+    ]
+    .into_iter()
+    .map(|cell| {
+        let det = Arc::new(Detector::with_annotator(annotator()));
+        let sink: Arc<dyn TraceSink> = det.clone();
+        let out = run_elastic_cell_with_sink(&cell, seed, Some(sink));
+        ElasticTrace {
+            cell,
+            committed_ops: out.committed_ops,
+            events: det.events(),
+            races: det.races().iter().map(|r| r.to_string()).collect(),
+            detector_violations: det.violations(),
+            cell_violations: out.violations,
+        }
+    })
+    .collect()
+}
+
+/// Runs all five stages.
 pub fn analyze(
     cells: &[Cell],
     seed: u64,
@@ -394,11 +484,13 @@ pub fn analyze(
     let cell_traces = analyze_cells(cells, seed, progress);
     let ycsb = analyze_ycsb(seed);
     let rt = analyze_rt(seed);
+    let elastic = analyze_elastic(seed);
     AnalyzeReport {
         seed,
         cells: cell_traces,
         ycsb,
         rt,
+        elastic,
         selftests: selftest::run_all(),
         lint_violations: lint::run_all(),
     }
@@ -450,6 +542,25 @@ mod tests {
             );
             assert!(t.events > 100, "rt {}: only {} events", t.kill.label(), t.events);
             assert!(t.inflight_at_fault >= 2);
+        }
+    }
+
+    /// The traced elastic slice is race-free: the migrator's fence/copy
+    /// stream interleaved with client verbs produces no unordered
+    /// conflicting accesses, and the cells hold their invariants.
+    #[test]
+    fn elastic_traces_are_race_free() {
+        for t in analyze_elastic(crate::DEFAULT_SEED) {
+            assert!(
+                t.ok(),
+                "elastic {}: races {:?}, violations {:?}/{:?}",
+                t.cell,
+                t.races,
+                t.detector_violations,
+                t.cell_violations
+            );
+            assert!(t.events > 100, "elastic {}: only {} events", t.cell, t.events);
+            assert!(t.committed_ops > 0, "elastic {}: no ops committed", t.cell);
         }
     }
 

@@ -19,22 +19,31 @@
 //! * `chaos rt` — the coroutine-runtime axis: kill a memory node (or
 //!   crash one client) while several resumable ops are suspended mid
 //!   round-trip on one [`aceso_rt::Executor`] thread (see [`rt_axis`]).
+//! * `chaos elastic [--ci]` — the kill-mid-rebalance axis: an elastic
+//!   migration re-homes a column under live traffic and the joining MN,
+//!   the draining MN, or a CN dies at every migrator step boundary (see
+//!   [`elastic_axis`]).
 //! * `chaos analyze [--ci]` — reruns the sweep schedules, a
-//!   multi-client YCSB-A interleaving, and the runtime-axis cells under
-//!   the [`aceso_san`] happens-before race detector, then runs the
-//!   detector's mutation self-tests and the static protocol lints (see
-//!   [`analyze`]).
+//!   multi-client YCSB-A interleaving, the runtime-axis cells, and a
+//!   slice of the elastic axis under the [`aceso_san`] happens-before
+//!   race detector, then runs the detector's mutation self-tests and the
+//!   static protocol lints (see [`analyze`]).
 //!
 //! Every schedule derives from one `u64` seed; the same seed replays the
 //! identical schedule.
 
 pub mod analyze;
 pub mod cell;
+pub mod elastic_axis;
 pub mod rt_axis;
 pub mod runner;
 pub mod sweep;
 
-pub use analyze::{AnalyzeReport, CellTrace, RtTrace, YcsbTrace};
+pub use analyze::{AnalyzeReport, CellTrace, ElasticTrace, RtTrace, YcsbTrace};
+pub use elastic_axis::{
+    elastic_matrix, run_elastic_cell, run_elastic_cell_with_sink, run_elastic_matrix,
+    ElasticBoundary, ElasticCell, ElasticKill, ElasticOutcome, ElasticReportCli,
+};
 pub use rt_axis::{run_rt_cell, run_rt_cell_with_sink, RtKill, RtOutcome, RT_TASKS};
 pub use cell::{
     ci_matrix, full_matrix, injection_sites, kill_timings, Cell, InjectionSite, KillTiming,

@@ -4,6 +4,7 @@
 //! chaos sweep   [--ci] [--seed N] [--limit N] [--verbose]
 //! chaos soak    [--seed N] [--seconds N] [--verbose]
 //! chaos rt      [--seed N]
+//! chaos elastic [--ci] [--seed N] [--verbose]
 //! chaos analyze [--ci] [--seed N] [--limit N] [--verbose]
 //! ```
 //!
@@ -13,8 +14,8 @@
 //! errors.
 
 use aceso_chaos::{
-    analyze, ci_matrix, full_matrix, run_cell, run_rt_cell, soak, sweep, Cell, CellOutcome,
-    CellTrace, RtKill, SweepReport, CI_CELLS, DEFAULT_SEED,
+    analyze, ci_matrix, full_matrix, run_cell, run_elastic_matrix, run_rt_cell, soak, sweep, Cell,
+    CellOutcome, CellTrace, RtKill, SweepReport, CI_CELLS, DEFAULT_SEED,
 };
 use std::time::Duration;
 
@@ -23,6 +24,7 @@ fn usage() -> ! {
         "usage: chaos sweep   [--ci] [--seed N] [--limit N] [--verbose]\n\
                 chaos soak    [--seed N] [--seconds N] [--verbose]\n\
                 chaos rt      [--seed N]\n\
+                chaos elastic [--ci] [--seed N] [--verbose]\n\
                 chaos analyze [--ci] [--seed N] [--limit N] [--verbose]\n\
                 chaos cell <op/site/kill/reclaim> [--seed N]\n\
          \n\
@@ -31,9 +33,12 @@ fn usage() -> ! {
          soak     run seeded random cells until --seconds elapse\n\
          rt       kill a memory node / crash a client while several\n\
          \x20        coroutine ops sit suspended on one executor thread\n\
-         analyze  rerun the sweep schedules, a 4-client YCSB-A trace, and\n\
-         \x20        the rt cells under the happens-before race detector,\n\
-         \x20        plus the detector self-tests and static protocol lints\n\
+         elastic  kill the joining MN, the draining MN, or a CN at every\n\
+         \x20        migrator step boundary of an online column migration\n\
+         \x20        (15 cells; --ci is the same deterministic profile)\n\
+         analyze  rerun the sweep schedules, a 4-client YCSB-A trace, the\n\
+         \x20        rt cells, and an elastic slice under the happens-before\n\
+         \x20        race detector, plus the detector self-tests and lints\n\
          cell     replay one cell by id (as printed in counterexamples)\n\
          --seed   master seed (default {DEFAULT_SEED:#x}); same seed, same schedule"
     );
@@ -140,6 +145,29 @@ fn main() {
                     println!("[{ran:>4}] {status:<9} {} ({} events)", t.cell, t.events);
                 } else if !t.ok() {
                     println!("[{ran:>4}] FINDING {}", t.cell);
+                }
+            });
+            print!("{}", report.render());
+            std::process::exit(if report.clean() { 0 } else { 1 });
+        }
+        "elastic" => {
+            // The elastic axis is already a fixed 15-cell deterministic
+            // matrix; --ci selects the identical profile (accepted so the
+            // tier-1 command line reads uniformly across modes).
+            let _ = ci;
+            println!("chaos elastic: 15 kill-mid-rebalance cells, seed {seed:#x}");
+            let mut ran = 0usize;
+            let report = run_elastic_matrix(seed, |o| {
+                ran += 1;
+                if verbose || !o.ok() {
+                    let status = if o.ok() { "ok" } else { "VIOLATION" };
+                    println!(
+                        "[{ran:>4}] {status:<9} {} (col {}, {} ms, {} ops committed, verb-kill={}, aborted={})",
+                        o.cell, o.col, o.duration_ms, o.committed_ops, o.kill_fired_at_verb, o.aborted
+                    );
+                    for v in &o.violations {
+                        println!("    {v}");
+                    }
                 }
             });
             print!("{}", report.render());

@@ -20,6 +20,7 @@
 
 use crate::config::{pack_col, unpack_col, ClientTuning, MemoryMap};
 use crate::kv::{self, INVALID_SLOT_VERSION, SLOT_VER_OFF};
+use crate::placement::{PlacementMap, PlacementSnapshot};
 use crate::proto::{ServerReq, ServerResp};
 use crate::server::Directory;
 use crate::{Result, StoreError};
@@ -28,7 +29,7 @@ use aceso_erasure::{xor_into, XCode};
 use aceso_index::slot::slot_version;
 use aceso_index::{fingerprint, route_hash, RemoteIndex, SlotAtomic, SlotMeta};
 use aceso_obs::{Counter, Histogram, Obs, Registry};
-use aceso_rdma::{Cluster, DmClient, GlobalAddr, OpKind, OpRecord, RdmaError};
+use aceso_rdma::{Cluster, DmClient, GlobalAddr, NodeId, OpKind, OpRecord, RdmaError};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
@@ -144,6 +145,8 @@ struct ClientMetrics {
     commit_retries: Counter,
     recovery_waits: Counter,
     degraded_reads: Counter,
+    retry_attempts: Counter,
+    retry_exhausted: Counter,
 }
 
 impl ClientMetrics {
@@ -153,6 +156,8 @@ impl ClientMetrics {
             commit_retries: reg.counter("client.commit.cas_retries"),
             recovery_waits: reg.counter("client.commit.recovery_waits"),
             degraded_reads: reg.counter("client.search.degraded"),
+            retry_attempts: reg.counter("client.retry.attempts"),
+            retry_exhausted: reg.counter("client.retry.exhausted"),
         }
     }
 
@@ -186,11 +191,57 @@ struct SlotPlace {
     block: BlockId,
 }
 
+/// The unified retry/backoff policy: every retry loop in the client — index
+/// verbs across a recovery window, the commit loop, the elastic migrator's
+/// per-batch RPCs — charges attempts against one budget and backs off with
+/// a deterministic exponential schedule on *virtual* CQ time
+/// ([`DmClient::backoff`]), never the wall clock, so pipelined runs and
+/// chaos matrices replay identically.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RetryPolicy {
+    budget: usize,
+    attempts: usize,
+    base_us: u64,
+    cap_us: u64,
+}
+
+impl RetryPolicy {
+    /// A policy allowing `budget` retries, backing off 500 µs on the first
+    /// and 1 ms on every later one (so a budget expressed in milliseconds —
+    /// like `ClientTuning::index_wait_ms` — still waits about that long).
+    pub(crate) fn new(budget: usize) -> Self {
+        RetryPolicy {
+            budget,
+            attempts: 0,
+            base_us: 500,
+            cap_us: 1000,
+        }
+    }
+
+    /// Charges one attempt: `Some(backoff µs)` while budget remains,
+    /// `None` once exhausted. Callers decide whether to actually back off
+    /// (CAS contention retries re-resolve immediately).
+    pub(crate) fn charge(&mut self) -> Option<u64> {
+        if self.attempts >= self.budget {
+            return None;
+        }
+        let us = (self.base_us << self.attempts.min(8)).min(self.cap_us);
+        self.attempts += 1;
+        Some(us)
+    }
+}
+
 /// A client endpoint of the Aceso store.
 pub struct AcesoClient {
     cluster: Arc<Cluster>,
     dir: Arc<Directory>,
     map: MemoryMap,
+    /// The store-wide placement map (elastic migration).
+    placement: Arc<PlacementMap>,
+    /// The placement snapshot this client currently operates under; stale
+    /// snapshots are rejected by epoch fences and refreshed via
+    /// [`AcesoClient::refresh_placement`].
+    pl: Arc<PlacementSnapshot>,
     xcode: XCode,
     /// The underlying fabric client (benches read its profiles).
     pub dm: DmClient,
@@ -202,8 +253,11 @@ pub struct AcesoClient {
     /// Invalidation writes for speculation-lost KVs, deferred so they can
     /// ride inside the next doorbell batch of the same operation instead
     /// of paying their own round trip. Always drained before the
-    /// operation returns (see `upsert`).
-    pending_inval: Vec<(GlobalAddr, [u8; 8])>,
+    /// operation returns (see `upsert`). Stored as `(col, off, bytes)` —
+    /// the physical node (and any migration mirror) is resolved at flush
+    /// time, so a placement change between defer and drain cannot strand
+    /// the write on a retired node.
+    pending_inval: Vec<(usize, u64, [u8; 8])>,
     pending_bits: BTreeMap<(usize, BlockId), Vec<u32>>,
     pending_count: usize,
     alloc_rr: usize,
@@ -217,21 +271,31 @@ pub struct AcesoClient {
 
 impl AcesoClient {
     /// Creates a client (used by `AcesoStore::client`).
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn new(
         cluster: Arc<Cluster>,
         dir: Arc<Directory>,
         map: MemoryMap,
+        placement: Arc<PlacementMap>,
         cli_id: u32,
         tuning: ClientTuning,
         bitmap_flush_every: usize,
         obs: Obs,
     ) -> Self {
         let n = map.blocks.n;
+        let dm = cluster.client();
+        let pl = placement.snapshot();
+        // Declare the snapshot's epoch on the fabric client: ranges fenced
+        // at a *newer* epoch must reject this client until it refreshes
+        // (the client's u64::MAX default would bypass every fence).
+        dm.set_placement_epoch(pl.epoch);
         AcesoClient {
-            dm: cluster.client(),
+            dm,
             cluster,
             dir,
             map,
+            placement,
+            pl,
             xcode: XCode::new(n).expect("validated by config"),
             cli_id,
             tuning,
@@ -265,9 +329,87 @@ impl AcesoClient {
         self.map.blocks.n
     }
 
+    /// The physical node currently serving `(col, off)`: the placement
+    /// snapshot's override when the column is mid-migration, otherwise the
+    /// directory (index/meta areas, unmoved groups, non-migrating columns).
+    #[inline]
+    fn node_of(&self, col: usize, off: u64) -> NodeId {
+        self.pl
+            .resolve(col, off, &self.map)
+            .unwrap_or_else(|| self.dir.node_of(col))
+    }
+
     #[inline]
     fn addr(&self, col: usize, off: u64) -> GlobalAddr {
-        GlobalAddr::new(self.dir.node_of(col), off)
+        GlobalAddr::new(self.node_of(col, off), off)
+    }
+
+    /// Adopts the latest placement snapshot after an epoch fence. Cache
+    /// entries whose slot address points at a retired node are purged: the
+    /// retired memory may still respond, but nothing on it is current, so
+    /// reading (or CASing) through such an address would miss every commit
+    /// made after the column moved.
+    fn refresh_placement(&mut self) {
+        self.pl = self.placement.snapshot();
+        self.dm.set_placement_epoch(self.pl.epoch);
+        if !self.pl.retired.is_empty() {
+            let retired = self.pl.retired.clone();
+            self.cache
+                .retain(|_, e| !retired.contains(&e.slot_addr.node));
+        }
+    }
+
+    /// Charges one attempt against `policy`, tracking the unified
+    /// `client.retry.{attempts,exhausted}` counters.
+    fn charge_retry(&self, policy: &mut RetryPolicy) -> Option<u64> {
+        match policy.charge() {
+            Some(us) => {
+                if let Some(m) = &self.metrics {
+                    m.retry_attempts.inc();
+                }
+                Some(us)
+            }
+            None => {
+                if let Some(m) = &self.metrics {
+                    m.retry_exhausted.inc();
+                }
+                None
+            }
+        }
+    }
+
+    /// Block-area write, placement-aware: the primary goes first (so an
+    /// epoch fence aborts the batch before any byte lands), then the
+    /// dual-write mirror while a migration window is open — both sides of
+    /// an in-flight move stay byte-fresh, which is what makes aborting a
+    /// migration (and recovering through the directory) safe.
+    fn write_block(
+        &self,
+        dm: &DmClient,
+        col: usize,
+        off: u64,
+        bytes: &[u8],
+    ) -> aceso_rdma::Result<()> {
+        dm.write(GlobalAddr::new(self.node_of(col, off), off), bytes)?;
+        if let Some(node) = self.pl.mirror(col, off, &self.map) {
+            dm.write(GlobalAddr::new(node, off), bytes)?;
+        }
+        Ok(())
+    }
+
+    /// Inline (≤ 64 B) variant of [`AcesoClient::write_block`].
+    fn write_block_inline(
+        &self,
+        dm: &DmClient,
+        col: usize,
+        off: u64,
+        bytes: &[u8],
+    ) -> aceso_rdma::Result<()> {
+        dm.write_inline(GlobalAddr::new(self.node_of(col, off), off), bytes)?;
+        if let Some(node) = self.pl.mirror(col, off, &self.map) {
+            dm.write_inline(GlobalAddr::new(node, off), bytes)?;
+        }
+        Ok(())
     }
 
     fn index_of(&self, key: &[u8]) -> (usize, RemoteIndex) {
@@ -375,7 +517,21 @@ impl AcesoClient {
     pub async fn search_async(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         let _span = self.op_span(OpKind::Search);
         self.dm.begin_op();
-        let r = self.search_inner(key).await;
+        let mut fenced = RetryPolicy::new(8);
+        let r = loop {
+            match self.search_inner(key).await {
+                Err(StoreError::Rdma(RdmaError::EpochFenced { .. }))
+                    if self.charge_retry(&mut fenced).is_some() =>
+                {
+                    // A KV read hit a migration fence through a stale
+                    // placement (or a stale cached physical address):
+                    // refresh and re-resolve from the index.
+                    self.cache.remove(key);
+                    self.refresh_placement();
+                }
+                r => break r,
+            }
+        };
         self.dm.settle().await;
         self.finish_op(&r, OpKind::Search);
         r
@@ -841,7 +997,8 @@ impl AcesoClient {
         let fp = fingerprint(key);
         let class = kv::class_for(key.len(), value.len())?;
 
-        for _attempt in 0..self.tuning.max_retries {
+        let mut policy = RetryPolicy::new(self.tuning.max_retries);
+        loop {
             // Re-resolve the index partition each attempt: the column may
             // have moved to a replacement MN mid-recovery.
             let (_, index) = self.index_of(key);
@@ -890,6 +1047,12 @@ impl AcesoClient {
             match outcome {
                 Ok(CommitOutcome::Done) => return Ok(()),
                 Ok(CommitOutcome::Retry) => {
+                    // CAS contention: re-resolve immediately, no backoff —
+                    // the conflicting commit already changed the words we
+                    // will re-read.
+                    if self.charge_retry(&mut policy).is_none() {
+                        break;
+                    }
                     self.dm.note_retry();
                     if let Some(m) = &self.metrics {
                         m.commit_retries.inc();
@@ -897,11 +1060,24 @@ impl AcesoClient {
                 }
                 Err(StoreError::Rdma(RdmaError::NodeUnreachable(_))) => {
                     // Mid-recovery: wait for the replacement to publish.
-                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    let Some(us) = self.charge_retry(&mut policy) else {
+                        break;
+                    };
+                    self.dm.backoff(us);
                     self.dm.note_retry();
                     if let Some(m) = &self.metrics {
                         m.recovery_waits.inc();
                     }
+                }
+                Err(StoreError::Rdma(RdmaError::EpochFenced { .. })) => {
+                    // Mid-migration: this client's placement snapshot is
+                    // stale. Refresh and re-resolve — no backoff needed,
+                    // the new snapshot is immediately current.
+                    if self.charge_retry(&mut policy).is_none() {
+                        break;
+                    }
+                    self.refresh_placement();
+                    self.dm.note_retry();
                 }
                 Err(e) => return Err(e),
             }
@@ -1308,15 +1484,15 @@ impl AcesoClient {
         self.dm.batch(|dm| {
             res = (|| -> Result<()> {
                 kv_read = dm.read_vec(self.addr(kv_col, kv_off), hint);
-                for (addr, bytes) in &invals {
-                    dm.write_inline(*addr, bytes)?;
+                for (col, off, bytes) in &invals {
+                    self.write_block_inline(dm, *col, *off, bytes)?;
                 }
-                dm.write(self.addr(place.col, place.kv_off), &buf)?;
+                self.write_block(dm, place.col, place.kv_off, &buf)?;
                 if crash == Some(CrashPoint::AfterKvWrite) {
                     return Err(StoreError::Shutdown);
                 }
                 for (dcol, doff) in place.deltas {
-                    dm.write(self.addr(dcol, doff), &delta)?;
+                    self.write_block(dm, dcol, doff, &delta)?;
                 }
                 if crash == Some(CrashPoint::BeforeCommit) {
                     return Err(StoreError::Shutdown);
@@ -1325,6 +1501,10 @@ impl AcesoClient {
             })();
         });
         self.dm.settle().await;
+        if matches!(&res, Err(StoreError::Rdma(RdmaError::EpochFenced { .. }))) {
+            self.pending_inval = invals;
+            self.unwind_fenced_place(&place).await?;
+        }
         res?;
 
         let identity = kv_read
@@ -1480,15 +1660,15 @@ impl AcesoClient {
                         return Ok(());
                     }
                 }
-                for (addr, bytes) in &invals {
-                    dm.write_inline(*addr, bytes)?;
+                for (col, off, bytes) in &invals {
+                    self.write_block_inline(dm, *col, *off, bytes)?;
                 }
-                dm.write(self.addr(place.col, place.kv_off), &buf)?;
+                self.write_block(dm, place.col, place.kv_off, &buf)?;
                 if crash == Some(CrashPoint::AfterKvWrite) {
                     return Err(StoreError::Shutdown);
                 }
                 for (dcol, doff) in place.deltas {
-                    dm.write(self.addr(dcol, doff), &delta)?;
+                    self.write_block(dm, dcol, doff, &delta)?;
                 }
                 if crash == Some(CrashPoint::BeforeCommit) {
                     return Err(StoreError::Shutdown);
@@ -1497,10 +1677,15 @@ impl AcesoClient {
             })();
         });
         self.dm.settle().await;
-        if let Some(Err(_)) = &slot_read {
-            // Writes were skipped, so the queued invalidations did not go
-            // out either: requeue them for the retry's batch.
+        let fence_abort = matches!(&res, Err(StoreError::Rdma(RdmaError::EpochFenced { .. })));
+        if matches!(&slot_read, Some(Err(_))) || fence_abort {
+            // Writes were skipped (or aborted partway): requeue the
+            // invalidations for the retry's batch — rewriting any that
+            // already landed is idempotent.
             self.pending_inval = invals;
+        }
+        if fence_abort {
+            self.unwind_fenced_place(place).await?;
         }
         res?;
         match slot_read {
@@ -1511,6 +1696,40 @@ impl AcesoClient {
             }
             None => Ok(None),
         }
+    }
+
+    /// Unwinds a write batch that bounced off an epoch fence after some
+    /// of its verbs landed. The doorbell batch is not atomic: the KV slot
+    /// and its two delta copies live on three different columns, so a
+    /// migration fence can reject a later verb after an earlier one
+    /// already wrote (e.g. the first delta copy's group has not moved yet
+    /// while the second's just did). The retry then re-places the KV into
+    /// a fresh slot, and without this rollback the abandoned slot would
+    /// keep one delta copy with data and the other still zero — a
+    /// divergence no recovery ever repairs, because nothing crashed.
+    /// Restoring the slot to its allocation-time bytes (the old image for
+    /// a reused block, zeros otherwise; delta copies to zero) under the
+    /// *refreshed* placement re-establishes both the delta-copy agreement
+    /// and the parity-linearity invariants, and handing the reservation
+    /// back lets the retry reuse the slot.
+    async fn unwind_fenced_place(&mut self, place: &SlotPlace) -> Result<()> {
+        self.refresh_placement();
+        let zeros = vec![0u8; place.slot_bytes];
+        let old = place.old_slot.as_deref().unwrap_or(&zeros);
+        let mut res: Result<()> = Ok(());
+        self.dm.batch(|dm| {
+            res = (|| -> Result<()> {
+                self.write_block(dm, place.col, place.kv_off, old)?;
+                for (dcol, doff) in place.deltas {
+                    self.write_block(dm, dcol, doff, &zeros)?;
+                }
+                Ok(())
+            })();
+        });
+        self.dm.settle().await;
+        res?;
+        self.unalloc_slot(place);
+        Ok(())
     }
 
     /// Encodes the slot image and its XOR delta against the slot's old
@@ -1564,10 +1783,10 @@ impl AcesoClient {
             *d ^= o;
         }
         self.pending_inval
-            .push((self.addr(place.col, place.kv_off + SLOT_VER_OFF as u64), inval));
+            .push((place.col, place.kv_off + SLOT_VER_OFF as u64, inval));
         for (dcol, doff) in place.deltas {
             self.pending_inval
-                .push((self.addr(dcol, doff + SLOT_VER_OFF as u64), delta8));
+                .push((dcol, doff + SLOT_VER_OFF as u64, delta8));
         }
         // The slot is consumed but worthless: reclaimable immediately.
         let slot_idx = self.slot_index_in_block(place);
@@ -1587,8 +1806,8 @@ impl AcesoClient {
         let mut res: Result<()> = Ok(());
         self.dm.batch(|dm| {
             res = (|| -> Result<()> {
-                for (addr, bytes) in &writes {
-                    dm.write_inline(*addr, bytes)?;
+                for (col, off, bytes) in &writes {
+                    self.write_block_inline(dm, *col, *off, bytes)?;
                 }
                 Ok(())
             })();
@@ -1811,18 +2030,29 @@ impl AcesoClient {
 
     /// Retries an index operation across a short recovery window: verbs to
     /// a crashed MN fail until the replacement is published, matching the
-    /// paper's "requests to the affected index range are blocked".
+    /// paper's "requests to the affected index range are blocked". An epoch
+    /// fence (elastic migration in flight) instead refreshes the placement
+    /// snapshot and retries immediately; the shared [`RetryPolicy`] budget
+    /// bounds both loops.
     fn with_index_retry<T>(
-        &self,
+        &mut self,
         mut f: impl FnMut(&DmClient) -> aceso_rdma::Result<T>,
     ) -> Result<T> {
-        let mut waited = 0u64;
+        let mut policy = RetryPolicy::new(self.tuning.index_wait_ms as usize);
         loop {
             match f(&self.dm) {
                 Ok(v) => return Ok(v),
-                Err(RdmaError::NodeUnreachable(_)) if waited < self.tuning.index_wait_ms => {
-                    std::thread::sleep(std::time::Duration::from_millis(1));
-                    waited += 1;
+                Err(e @ RdmaError::NodeUnreachable(_)) => {
+                    let Some(us) = self.charge_retry(&mut policy) else {
+                        return Err(e.into());
+                    };
+                    self.dm.backoff(us);
+                }
+                Err(e @ RdmaError::EpochFenced { .. }) => {
+                    if self.charge_retry(&mut policy).is_none() {
+                        return Err(e.into());
+                    }
+                    self.refresh_placement();
                 }
                 Err(e) => return Err(e.into()),
             }

@@ -41,6 +41,11 @@ pub struct AcesoConfig {
     pub ckpt_interval_ms: u64,
     /// Spawn the background checkpoint loop on launch.
     pub auto_checkpoint: bool,
+    /// Placement groups per column for elastic migration: the migrator
+    /// moves `block_id % elastic_groups` cohorts one at a time, bounding
+    /// how much data each rebalance batch copies while client traffic
+    /// continues against the rest.
+    pub elastic_groups: usize,
     /// Parallel recovery workers for stripe reconstruction. The paper
     /// leaves "distributing coding stripe recovery tasks across multiple
     /// CNs, similar to RAMCloud" as future work (§4.5); this implements
@@ -67,6 +72,7 @@ impl AcesoConfig {
             bitmap_flush_every: 64,
             ckpt_interval_ms: 500,
             auto_checkpoint: false,
+            elastic_groups: 4,
             recovery_workers: 1,
             cost: CostModel::default(),
         }

@@ -19,6 +19,7 @@
 //! | §3.4 failure handling, tiered recovery | [`recovery`] |
 //! | client↔server RPC protocol | [`proto`] |
 //! | top-level orchestration (launch, kill, recover) | [`store`] |
+//! | elastic membership (online MN add/drain) | [`placement`], [`elastic`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -26,7 +27,9 @@
 pub mod ckpt;
 pub mod client;
 pub mod config;
+pub mod elastic;
 pub mod kv;
+pub mod placement;
 pub mod proto;
 pub mod recovery;
 pub mod scrub;
@@ -35,6 +38,8 @@ pub mod store;
 
 pub use client::AcesoClient;
 pub use config::{AcesoConfig, ClientTuning, MemoryMap};
+pub use elastic::{ElasticReport, ElasticStep, Migration};
+pub use placement::{ElasticKind, MigrationView, PlacementMap, PlacementSnapshot};
 pub use recovery::{
     recover_cn, recover_mixed, recover_mn, recover_mn_with, CnRecoveryReport, RecoveryReport,
 };

@@ -106,6 +106,22 @@ pub enum ServerReq {
     /// Post-recovery: the right neighbour was replaced; re-send all records
     /// and make the next checkpoint round a full one.
     ResetReplication,
+    /// Elastic migration: copy the given block-area byte ranges onto the
+    /// migration target (installed out-of-band via
+    /// [`MnServer::set_migration`](crate::server::MnServer::set_migration)).
+    /// Running inside the RPC loop serializes the copy against every other
+    /// server-side mutation of those ranges.
+    MigrateBatch {
+        /// `(region offset, length)` ranges to copy.
+        ranges: Vec<(u64, usize)>,
+    },
+    /// Elastic migration: move this column's PARITY cells onto the target —
+    /// quiescent stripes are *re-encoded* from the live data cells, busy
+    /// ones byte-copied — then flip parity primaries to the target.
+    MigrateParity,
+    /// Elastic migration: copy the Index and Meta areas onto the target and
+    /// stop serving; the migrator republishes the column on the target.
+    MigrateFinish,
 }
 
 /// Responses.

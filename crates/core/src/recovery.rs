@@ -422,7 +422,7 @@ pub fn recover_mn_with(
     if all_alive {
         let cols: Vec<usize> = store.pending_parity.lock().drain(..).collect();
         let mut net_bytes = 0u64;
-        for pc in cols {
+        for &pc in &cols {
             let srv = store.server(pc);
             for &array in &arrays_in_use {
                 net_bytes += rebuild_parity_and_deltas(store, &srv, &dm, pc, array)?;
@@ -431,8 +431,13 @@ pub fn recover_mn_with(
         report.parity_net_bytes = net_bytes;
         report.parity_net_ms = (net_bytes as f64 / cost.node_bw) * 1e3;
         report.parity_ms = t.elapsed().as_secs_f64() * 1e3 + report.parity_net_ms;
-        // Every pending column's parity and delta copies are whole again.
-        store.degraded.lock().clear();
+        // Exactly the columns whose parity and delta copies were rebuilt
+        // above are whole again. Clearing the *whole* list here would also
+        // drop columns degraded by someone else — an index-tier-only
+        // recovery still waiting for its block tier, or an in-flight
+        // elastic migration — and make recovery trust their delta bytes
+        // too early.
+        store.degraded.lock().retain(|c| !cols.contains(c));
     }
 
     record_recovery_obs(&store.obs(), &report);
@@ -988,6 +993,20 @@ pub fn recover_cn(
     let dm = store.cluster.background_client();
     let xcode = aceso_erasure::XCode::new(n).expect("prime n");
     let mut report = CnRecoveryReport::default();
+    // Repair writes must land everywhere a client write would: the
+    // placement primary plus the dual-write mirror while a migration is
+    // in flight. Writing only the directory-resolved node would leave
+    // already-copied groups on the migration target serving the
+    // un-repaired bytes once the migration publishes.
+    let pl = store.placement().snapshot();
+    let write_repaired = |c: usize, off: u64, bytes: &[u8]| -> Result<()> {
+        let primary = pl.resolve(c, off, &map).unwrap_or_else(|| dir.node_of(c));
+        dm.write(GlobalAddr::new(primary, off), bytes)?;
+        if let Some(m) = pl.mirror(c, off, &map) {
+            let _ = dm.write(GlobalAddr::new(m, off), bytes);
+        }
+        Ok(())
+    };
 
     for col in 0..n {
         let Ok(resp) = dm.rpc(
@@ -1032,7 +1051,12 @@ pub fn recover_cn(
             // re-materializes them only in the parity rebuild); trusting
             // those bytes would classify every committed slot as torn and
             // the "repair" would zero the surviving copy too. Judge
-            // consistency from trustworthy copies only.
+            // consistency from trustworthy copies only. Exception: a
+            // column degraded because it is mid-migration is byte-fresh
+            // (the dual-write mirror keeps the source current), and its
+            // copy must also take part in the repair — skipping it would
+            // zero one copy of a torn delta but not the other.
+            let mig_col = pl.migration.as_ref().map(|m| m.col);
             let degraded: Vec<usize> = store.degraded.lock().clone();
             let (diag, anti) = xcode.parity_cells_for(row, col);
             let mut dinfo: Vec<(usize, u64, Vec<u8>)> = Vec::new();
@@ -1052,7 +1076,7 @@ pub fn recover_cn(
                     continue;
                 }
                 let (dc, doff) = unpack_col(prec.delta_addr[row]);
-                if degraded.contains(&dc) {
+                if degraded.contains(&dc) && Some(dc) != mig_col {
                     skipped_degraded = true;
                     continue;
                 }
@@ -1085,16 +1109,10 @@ pub fn recover_cn(
                 }
                 // Torn: roll back to the old contents, zero the deltas.
                 report.slots_repaired += 1;
-                dm.write(
-                    GlobalAddr::new(dir.node_of(col), block_off + (s * slot_bytes) as u64),
-                    old_slot,
-                )?;
+                write_repaired(col, block_off + (s * slot_bytes) as u64, old_slot)?;
                 let zeros = vec![0u8; slot_bytes];
                 for (dc, doff, _) in &dinfo {
-                    let _ = dm.write(
-                        GlobalAddr::new(dir.node_of(*dc), doff + (s * slot_bytes) as u64),
-                        &zeros,
-                    );
+                    let _ = write_repaired(*dc, doff + (s * slot_bytes) as u64, &zeros);
                 }
             }
         }

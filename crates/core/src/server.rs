@@ -11,9 +11,8 @@ use crate::ckpt::{CkptReceiver, CkptReport, CkptSender};
 use crate::config::{pack_col, unpack_col, MemoryMap};
 use crate::proto::{ServerReq, ServerResp};
 use aceso_blockalloc::{Allocator, Bitmap, BlockId, BlockRecord, CellKind, Role};
-use aceso_erasure::xor_into;
 use aceso_index::RemoteIndex;
-use aceso_rdma::{DmClient, MemoryNode, NodeId, RpcClient, RpcServer};
+use aceso_rdma::{DmClient, GlobalAddr, MemoryNode, NodeId, RpcClient, RpcServer};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -101,6 +100,19 @@ impl BusyMeters {
     }
 }
 
+/// Elastic-migration context installed on a server whose column is being
+/// moved to another node. While present, reclamation is suppressed (reuse
+/// would mutate blocks behind the copier's back) and every server-side
+/// block-area write is applied to *both* regions so neither side goes
+/// stale before the final publish.
+pub struct MigrationCtx {
+    /// The target node the column is moving onto.
+    pub target: Arc<MemoryNode>,
+    /// Parity primaries have flipped to the target (post-`MigrateParity`):
+    /// delta encoding must read parity content from the target.
+    pub parity_moved: bool,
+}
+
 /// State of one MN server, shared between its thread, the store and the
 /// recovery orchestrator.
 pub struct MnServer {
@@ -133,6 +145,8 @@ pub struct MnServer {
     pub reclaim_free: f64,
     /// Server liveness (cleared on kill/shutdown).
     pub alive: Arc<AtomicBool>,
+    /// In-flight elastic migration of this column, if any.
+    pub migration: Mutex<Option<MigrationCtx>>,
 }
 
 impl MnServer {
@@ -161,6 +175,7 @@ impl MnServer {
             reclaim_obsolete,
             reclaim_free,
             alive: Arc::new(AtomicBool::new(true)),
+            migration: Mutex::new(None),
         };
         // Launch starts every partition at Index Version 1 so that "0"
         // unambiguously means "unfilled block" in records.
@@ -171,6 +186,31 @@ impl MnServer {
     /// Right-neighbour column (checkpoint + meta replica target).
     pub fn neighbour(&self) -> usize {
         (self.column + 1) % self.map.blocks.n
+    }
+
+    /// Installs or clears the elastic-migration context. Called by the
+    /// in-process migrator: RPC payloads cannot carry the target region
+    /// handle, so it is set out-of-band before the `Migrate*` requests.
+    pub fn set_migration(&self, ctx: Option<MigrationCtx>) {
+        *self.migration.lock() = ctx;
+    }
+
+    /// Applies a block-area write to the local region and, while a
+    /// migration is in flight, to the same offset on the target region
+    /// (dual-write: neither side may go stale before the publish).
+    fn mig_write(&self, off: u64, bytes: &[u8]) {
+        self.node.region.write(off, bytes).expect("block write");
+        if let Some(ctx) = self.migration.lock().as_ref() {
+            ctx.target.region.write(off, bytes).expect("target write");
+        }
+    }
+
+    /// Like [`mig_write`](Self::mig_write) for zeroing.
+    fn mig_zero(&self, off: u64, len: usize) {
+        self.node.region.zero(off, len).expect("block zero");
+        if let Some(ctx) = self.migration.lock().as_ref() {
+            ctx.target.region.zero(off, len).expect("target zero");
+        }
     }
 
     /// Persists a record to the local Meta Area and replicates it to the
@@ -342,6 +382,15 @@ impl MnServer {
                 }
                 ServerResp::Ok
             }
+            ServerReq::MigrateBatch { ranges } => self.handle_migrate_batch(&ranges),
+            ServerReq::MigrateParity => {
+                let t = Instant::now();
+                let r = self.handle_migrate_parity(dm, dir);
+                role_time = t.elapsed();
+                self.meters.add(&self.meters.ec_ns, role_time);
+                r
+            }
+            ServerReq::MigrateFinish => self.handle_migrate_finish(),
         };
         self.meters
             .add(&self.meters.rpc_ns, t0.elapsed().saturating_sub(role_time));
@@ -447,13 +496,10 @@ impl MnServer {
             return ServerResp::Err("out of delta blocks".into());
         };
         // Delta blocks must start zeroed (they accumulate XOR images).
-        self.node
-            .region
-            .zero(
-                self.map.blocks.block_offset(id),
-                self.map.blocks.block_size as usize,
-            )
-            .expect("delta zero");
+        self.mig_zero(
+            self.map.blocks.block_offset(id),
+            self.map.blocks.block_size as usize,
+        );
         let pid = self.map.blocks.cell_block_id(array, parity_row);
         {
             let mut recs = self.records.lock();
@@ -502,9 +548,19 @@ impl MnServer {
         let bs = self.map.blocks.block_size as usize;
         let delta = self.node.region.read_vec(doff, bs).expect("delta read");
         let poff = self.map.blocks.block_offset(pid);
-        let mut parity = self.node.region.read_vec(poff, bs).expect("parity read");
-        xor_into(&mut parity, &delta);
-        self.node.region.write(poff, &parity).expect("parity write");
+        // During a migration the parity primary may already live on the
+        // target node (post-`MigrateParity`); read content from wherever
+        // clients currently read it, write the result to both sides.
+        let parity_src = {
+            let g = self.migration.lock();
+            match g.as_ref() {
+                Some(ctx) if ctx.parity_moved => Arc::clone(&ctx.target),
+                _ => Arc::clone(&self.node),
+            }
+        };
+        let mut parity = parity_src.region.read_vec(poff, bs).expect("parity read");
+        aceso_erasure::XCode::fold_delta(&mut parity, &delta).expect("delta length");
+        self.mig_write(poff, &parity);
 
         let delta_id = self.map.blocks.locate(doff).expect("delta offset").0;
         {
@@ -516,7 +572,7 @@ impl MnServer {
             *drec = BlockRecord::free();
         }
         // Physically free the delta (zero so a future reuse starts clean).
-        self.node.region.zero(doff, bs).expect("delta zero");
+        self.mig_zero(doff, bs);
         self.alloc.lock().free_delta(delta_id);
         self.persist_record(dm, dir, pid);
         self.persist_record(dm, dir, delta_id);
@@ -560,11 +616,108 @@ impl MnServer {
                     rec.index_version != 0,
                 )
             };
-            if ratio_ok && filled && free_ratio < self.reclaim_free {
+            // Reuse is suppressed while the column migrates: reclamation
+            // rewrites block contents behind the copier's back and the
+            // target would resurrect the pre-reuse bytes.
+            if ratio_ok && filled && free_ratio < self.reclaim_free && self.migration.lock().is_none()
+            {
                 self.alloc.lock().push_reuse_candidate(*block);
             }
             self.persist_record(dm, dir, *block);
         }
+        ServerResp::Ok
+    }
+
+    /// Copies block-area byte ranges onto the migration target. Running in
+    /// the server thread serializes the copy against every other
+    /// server-side mutation; concurrent *client* writes are excluded by
+    /// the epoch fences the migrator installs first.
+    fn handle_migrate_batch(&self, ranges: &[(u64, usize)]) -> ServerResp {
+        let g = self.migration.lock();
+        let Some(ctx) = g.as_ref() else {
+            return ServerResp::Err("no migration in progress".into());
+        };
+        for &(off, len) in ranges {
+            let bytes = self.node.region.read_vec(off, len).expect("source read");
+            ctx.target.region.write(off, &bytes).expect("target write");
+        }
+        ServerResp::Ok
+    }
+
+    /// Moves this column's PARITY cells onto the migration target.
+    ///
+    /// A stripe with no registered delta is *quiescent* — every covered
+    /// data cell is either encoded-and-immutable or untouched zeros — so
+    /// its parity is re-encoded from the live data cells via
+    /// [`aceso_erasure::XCode::reencode_cell`]. Busy stripes (a delta is
+    /// registered, so a client holds the cell open or is overwriting a
+    /// reused block) are byte-copied: the maintained parity is
+    /// authoritative there. Afterwards parity primaries are flipped to the
+    /// target: clients read parity there and
+    /// [`EncodeDelta`](ServerReq::EncodeDelta) folds into it.
+    fn handle_migrate_parity(&self, dm: &DmClient, dir: &Directory) -> ServerResp {
+        let target = {
+            let g = self.migration.lock();
+            match g.as_ref() {
+                Some(ctx) => Arc::clone(&ctx.target),
+                None => return ServerResp::Err("no migration in progress".into()),
+            }
+        };
+        let n = self.map.blocks.n;
+        let bs = self.map.blocks.block_size as usize;
+        let xcode = aceso_erasure::XCode::new(n).expect("prime n");
+        for array in 0..self.map.blocks.num_arrays {
+            for prow in [n - 2, n - 1] {
+                let pid = self.map.blocks.cell_block_id(array, prow);
+                let poff = self.map.blocks.block_offset(pid);
+                let (allocated, quiescent) = {
+                    let recs = self.records.lock();
+                    let rec = &recs[pid as usize];
+                    (
+                        rec.role == Role::Parity,
+                        (0..n - 2).all(|r| rec.delta_addr[r] == 0),
+                    )
+                };
+                if allocated && quiescent {
+                    let fetch = |r: usize, c: usize| -> Option<Vec<u8>> {
+                        let off = self.map.blocks.block_offset(self.map.blocks.cell_block_id(array, r));
+                        if c == self.column {
+                            self.node.region.read_vec(off, bs).ok()
+                        } else {
+                            dm.read_vec(GlobalAddr::new(dir.node_of(c), off), bs).ok()
+                        }
+                    };
+                    if let Ok(bytes) = xcode.reencode_cell(prow, self.column, fetch) {
+                        target.region.write(poff, &bytes).expect("parity write");
+                        continue;
+                    }
+                }
+                let bytes = self.node.region.read_vec(poff, bs).expect("parity read");
+                target.region.write(poff, &bytes).expect("parity write");
+            }
+        }
+        if let Some(ctx) = self.migration.lock().as_mut() {
+            ctx.parity_moved = true;
+        }
+        ServerResp::Ok
+    }
+
+    /// Copies the Index + Meta areas onto the migration target and stops
+    /// serving. The migrator then clones the in-memory server state onto a
+    /// fresh [`MnServer`] for the target and republishes the column; stale
+    /// clients fail their next verb against the whole-region fence and
+    /// re-resolve.
+    fn handle_migrate_finish(&self) -> ServerResp {
+        {
+            let g = self.migration.lock();
+            let Some(ctx) = g.as_ref() else {
+                return ServerResp::Err("no migration in progress".into());
+            };
+            let len = self.map.blocks.block_base as usize;
+            let bytes = self.node.region.read_vec(0, len).expect("index+meta read");
+            ctx.target.region.write(0, &bytes).expect("index+meta write");
+        }
+        self.alive.store(false, Ordering::Release);
         ServerResp::Ok
     }
 

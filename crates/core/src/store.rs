@@ -4,6 +4,7 @@
 use crate::ckpt::CkptReport;
 use crate::client::AcesoClient;
 use crate::config::{AcesoConfig, ClientTuning, MemoryMap};
+use crate::placement::PlacementMap;
 use crate::proto::{ServerReq, ServerResp};
 use crate::server::{Directory, MnServer};
 use crate::{Result, StoreError};
@@ -60,6 +61,10 @@ pub struct AcesoStore {
     /// turns it on for clients created afterwards and for recovery/scrub/
     /// checkpoint instrumentation.
     obs: Mutex<Obs>,
+    /// Epoch-versioned column→node placement (elastic migration). Seeded
+    /// from the launch membership epoch so placement epochs extend the
+    /// membership-epoch sequence.
+    placement: Arc<PlacementMap>,
 }
 
 impl AcesoStore {
@@ -97,6 +102,7 @@ impl AcesoStore {
         }
         let store = Arc::new(AcesoStore {
             ctl: cluster.background_client(),
+            placement: Arc::new(PlacementMap::new(cluster.master.view().epoch)),
             cluster,
             cfg: cfg.clone(),
             map,
@@ -139,6 +145,7 @@ impl AcesoStore {
             Arc::clone(&self.cluster),
             Arc::clone(&self.dir),
             self.map,
+            Arc::clone(&self.placement),
             id,
             tuning,
             self.cfg.bitmap_flush_every,
@@ -153,11 +160,24 @@ impl AcesoStore {
             Arc::clone(&self.cluster),
             Arc::clone(&self.dir),
             self.map,
+            Arc::clone(&self.placement),
             cli_id,
             ClientTuning::default(),
             self.cfg.bitmap_flush_every,
             self.obs(),
         )
+    }
+
+    /// The placement map (elastic migration, tests).
+    pub fn placement(&self) -> &Arc<PlacementMap> {
+        &self.placement
+    }
+
+    /// Columns currently in a degraded window — their hosted parity/delta
+    /// copies are not trustworthy yet (mid-recovery, or an in-flight
+    /// elastic migration). Exposed for tests and chaos invariants.
+    pub fn degraded_columns(&self) -> Vec<usize> {
+        self.degraded.lock().clone()
     }
 
     /// Installs a metrics recorder: clients created from now on, recovery

@@ -244,6 +244,63 @@ impl XCode {
         Ok(())
     }
 
+    /// Recomputes a single parity cell `(parity_row, parity_col)` from the
+    /// current contents of the data cells its equation covers.
+    ///
+    /// This is the migrator's incremental re-encode primitive: when a
+    /// column moves to a new memory node, each of its parity cells is
+    /// rebuilt one equation at a time — reading `n − 2` live data cells —
+    /// instead of re-encoding the whole stripe. The `fetch` callback
+    /// supplies the data cell at `(row, col)`; a `None` means the cell is
+    /// unavailable and the re-encode fails (the caller falls back to full
+    /// reconstruction).
+    pub fn reencode_cell(
+        &self,
+        parity_row: usize,
+        parity_col: usize,
+        mut fetch: impl FnMut(usize, usize) -> Option<Vec<u8>>,
+    ) -> Result<Vec<u8>, CodeError> {
+        if !(parity_row == self.diag_row() || parity_row == self.anti_row()) || parity_col >= self.n
+        {
+            return Err(CodeError::BadGeometry(format!(
+                "({parity_row}, {parity_col}) is not a parity cell of n={}",
+                self.n
+            )));
+        }
+        let eq = self
+            .equations()
+            .into_iter()
+            .find(|e| e.parity_row == parity_row && e.parity_col == parity_col)
+            .expect("parity cell has an equation");
+        let mut acc: Option<Vec<u8>> = None;
+        for (r, c) in eq.data {
+            let cell = fetch(r, c).ok_or(CodeError::Unsolvable)?;
+            match &mut acc {
+                None => acc = Some(cell),
+                Some(a) => {
+                    if cell.len() != a.len() {
+                        return Err(CodeError::LengthMismatch);
+                    }
+                    xor_into(a, &cell);
+                }
+            }
+        }
+        acc.ok_or(CodeError::Unsolvable)
+    }
+
+    /// Folds a delta into a parity cell in place: `parity ⊕= delta`.
+    ///
+    /// By XOR linearity this is all it takes to keep a re-encoded parity
+    /// cell current while writers keep publishing deltas against the
+    /// stripe mid-migration (see the `delta_linearity` test).
+    pub fn fold_delta(parity: &mut [u8], delta: &[u8]) -> Result<(), CodeError> {
+        if parity.len() != delta.len() {
+            return Err(CodeError::LengthMismatch);
+        }
+        xor_into(parity, delta);
+        Ok(())
+    }
+
     /// Reconstructs a single data cell `(row, col)` from one parity chain,
     /// reading only the `n − 1` surviving cells of that chain.
     ///
@@ -444,6 +501,80 @@ mod tests {
                 assert_eq!(&got, full[k][j].as_ref().unwrap(), "k={k} j={j}");
             }
         }
+    }
+
+    #[test]
+    fn reencode_matches_encode() {
+        for n in [3usize, 5, 7] {
+            let full = stripe_for(n, 48, 21);
+            let code = XCode::new(n).unwrap();
+            for prow in [code.diag_row(), code.anti_row()] {
+                for pcol in 0..n {
+                    let got = code
+                        .reencode_cell(prow, pcol, |r, c| full[r][c].clone())
+                        .unwrap();
+                    assert_eq!(&got, full[prow][pcol].as_ref().unwrap(), "n={n} ({prow},{pcol})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reencode_rejects_bad_targets_and_missing_cells() {
+        let n = 5;
+        let full = stripe_for(n, 16, 8);
+        let code = XCode::new(n).unwrap();
+        // A data cell is not a parity cell.
+        assert!(code.reencode_cell(0, 0, |r, c| full[r][c].clone()).is_err());
+        assert!(code
+            .reencode_cell(code.diag_row(), n, |r, c| full[r][c].clone())
+            .is_err());
+        // An unavailable data cell fails the re-encode.
+        assert!(matches!(
+            code.reencode_cell(code.diag_row(), 0, |r, c| if (r, c) == (0, 2) {
+                None
+            } else {
+                full[r][c].clone()
+            }),
+            Err(CodeError::Unsolvable)
+        ));
+    }
+
+    #[test]
+    fn fold_delta_tracks_live_writes() {
+        // Re-encode a parity cell from old data, then fold in the delta of
+        // a concurrent overwrite: the result must equal the parity of the
+        // new data (the migrator's mid-batch correctness argument).
+        let n = 5;
+        let code = XCode::new(n).unwrap();
+        let full = stripe_for(n, 32, 13);
+        let (k, j) = (1usize, 4usize);
+        let ((prow, pcol), _) = code.parity_cells_for(k, j);
+        let mut parity = code
+            .reencode_cell(prow, pcol, |r, c| full[r][c].clone())
+            .unwrap();
+
+        let newv = vec![0x5Au8; 32];
+        let delta: Vec<u8> = full[k][j]
+            .as_ref()
+            .unwrap()
+            .iter()
+            .zip(&newv)
+            .map(|(a, b)| a ^ b)
+            .collect();
+        XCode::fold_delta(&mut parity, &delta).unwrap();
+        assert!(XCode::fold_delta(&mut parity, &[0u8; 8]).is_err());
+
+        let expect = code
+            .reencode_cell(prow, pcol, |r, c| {
+                if (r, c) == (k, j) {
+                    Some(newv.clone())
+                } else {
+                    full[r][c].clone()
+                }
+            })
+            .unwrap();
+        assert_eq!(parity, expect);
     }
 
     #[test]

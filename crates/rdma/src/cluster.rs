@@ -13,6 +13,15 @@ use parking_lot::{Mutex, RwLock};
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use std::sync::Arc;
 
+/// One epoch fence: accesses overlapping `[start, start + len)` require a
+/// client placement epoch of at least `min_epoch`.
+#[derive(Clone, Copy, Debug)]
+struct EpochFence {
+    start: u64,
+    len: usize,
+    min_epoch: u64,
+}
+
 /// A memory node (MN): one registered region behind one simulated RNIC.
 pub struct MemoryNode {
     /// This node's id.
@@ -27,6 +36,12 @@ pub struct MemoryNode {
     /// Node-side fault plan: intercepts every verb targeting this node,
     /// from any client (see [`crate::FaultPlan`]).
     fault: Mutex<Option<Arc<FaultPlan>>>,
+    /// Placement-epoch fences over byte ranges (see
+    /// [`MemoryNode::install_fence`]).
+    fences: Mutex<Vec<EpochFence>>,
+    /// Fast-path flag mirroring `!fences.is_empty()`; verbs check this
+    /// single relaxed load, so fencing is free when no migration runs.
+    fenced: AtomicBool,
 }
 
 impl MemoryNode {
@@ -38,6 +53,8 @@ impl MemoryNode {
             traffic: VerbCounters::new(),
             background: VerbCounters::new(),
             fault: Mutex::new(None),
+            fences: Mutex::new(Vec::new()),
+            fenced: AtomicBool::new(false),
         }
     }
 
@@ -67,6 +84,49 @@ impl MemoryNode {
     /// The currently installed fault plan, if any.
     pub fn fault_plan(&self) -> Option<Arc<FaultPlan>> {
         self.fault.lock().clone()
+    }
+
+    /// Installs a placement-epoch fence over `[start, start + len)`:
+    /// verbs from clients whose session placement epoch (see
+    /// [`crate::DmClient::set_placement_epoch`]) is below `min_epoch`
+    /// fail with [`crate::RdmaError::EpochFenced`] until the client
+    /// refreshes its placement view. The migrator fences a range *before*
+    /// moving it, so a client still resolving addresses through a stale
+    /// `PlacementMap` can neither read a half-moved block nor write
+    /// through a retired location. Clients that never set an epoch
+    /// (background, recovery, control plane) pass all fences.
+    pub fn install_fence(&self, start: u64, len: usize, min_epoch: u64) {
+        let mut g = self.fences.lock();
+        g.push(EpochFence {
+            start,
+            len,
+            min_epoch,
+        });
+        self.fenced.store(true, Ordering::Release);
+    }
+
+    /// Removes every fence (migration finished or aborted).
+    pub fn clear_fences(&self) {
+        let mut g = self.fences.lock();
+        g.clear();
+        self.fenced.store(false, Ordering::Release);
+    }
+
+    /// The minimum placement epoch required to access
+    /// `[start, start + len)`, or `None` if the range is unfenced.
+    /// Single relaxed load when no fences are installed.
+    #[inline]
+    pub fn fence_required(&self, start: u64, len: usize) -> Option<u64> {
+        if !self.fenced.load(Ordering::Relaxed) {
+            return None;
+        }
+        let end = start.saturating_add(len as u64);
+        self.fences
+            .lock()
+            .iter()
+            .filter(|f| start < f.start.saturating_add(f.len as u64) && f.start < end)
+            .map(|f| f.min_epoch)
+            .max()
     }
 }
 
@@ -234,6 +294,23 @@ impl Cluster {
         was_alive
     }
 
+    /// Retires `id` after a completed drain: verbs start failing exactly
+    /// like a crash (fail-stop of the *address*, not the data — the
+    /// migrator moved the contents first), but the master broadcasts
+    /// [`crate::FailureEvent::NodeDrained`] instead of a failure so
+    /// subscribers do not start recovery. Idempotent like
+    /// [`Cluster::kill_node`].
+    pub fn drain_node(&self, id: NodeId) -> bool {
+        let Some(n) = self.node_any(id) else {
+            return false;
+        };
+        let was_alive = n.kill();
+        if was_alive {
+            self.master.mark_drained(id);
+        }
+        was_alive
+    }
+
     /// Adds a fresh memory node (the recovery target) and returns its handle.
     pub fn add_node(&self, region_len: usize) -> Arc<MemoryNode> {
         let mut g = self.nodes.write();
@@ -302,6 +379,42 @@ mod tests {
         let n = c.add_node(4096);
         assert_eq!(n.id, NodeId(2));
         assert!(c.master.is_alive(NodeId(2)));
+    }
+
+    #[test]
+    fn fences_report_strictest_overlap() {
+        let c = Cluster::new(ClusterConfig {
+            num_mns: 1,
+            region_len: 4096,
+            cost: CostModel::default(),
+        });
+        let n = c.node(NodeId(0)).unwrap();
+        assert_eq!(n.fence_required(0, 4096), None);
+        n.install_fence(100, 100, 3);
+        n.install_fence(150, 100, 7);
+        assert_eq!(n.fence_required(0, 100), None); // ends at fence start
+        assert_eq!(n.fence_required(120, 8), Some(3));
+        assert_eq!(n.fence_required(180, 8), Some(7));
+        assert_eq!(n.fence_required(140, 20), Some(7)); // spans both
+        assert_eq!(n.fence_required(250, 8), None);
+        n.clear_fences();
+        assert_eq!(n.fence_required(120, 8), None);
+    }
+
+    #[test]
+    fn drain_kills_verbs_but_signals_planned_removal() {
+        use crate::master::FailureEvent;
+        let c = Cluster::new(ClusterConfig {
+            num_mns: 2,
+            region_len: 4096,
+            cost: CostModel::default(),
+        });
+        let rx = c.master.subscribe();
+        assert!(c.drain_node(NodeId(1)));
+        assert!(!c.drain_node(NodeId(1)));
+        assert!(c.node(NodeId(1)).is_err());
+        assert!(!c.master.is_alive(NodeId(1)));
+        assert_eq!(rx.recv().unwrap(), FailureEvent::NodeDrained(NodeId(1)));
     }
 
     #[test]

@@ -56,6 +56,17 @@ pub enum RdmaError {
         /// The verb's target node.
         node: NodeId,
     },
+    /// The verb targeted a range whose placement moved in a newer epoch
+    /// than the client's session epoch (see
+    /// [`crate::MemoryNode::install_fence`]). The client must refresh its
+    /// placement view and re-resolve the address; retrying the same verb
+    /// verbatim fails forever.
+    EpochFenced {
+        /// The node that rejected the access.
+        node: NodeId,
+        /// The placement epoch the client must catch up to.
+        required: u64,
+    },
 }
 
 impl fmt::Display for RdmaError {
@@ -79,6 +90,12 @@ impl fmt::Display for RdmaError {
             RdmaError::RpcTimeout => write!(f, "rpc timed out"),
             RdmaError::Injected { verb, node } => {
                 write!(f, "injected fault on {verb} to {node}")
+            }
+            RdmaError::EpochFenced { node, required } => {
+                write!(
+                    f,
+                    "access fenced on {node}: placement moved at epoch {required}"
+                )
             }
         }
     }

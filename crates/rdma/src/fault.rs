@@ -23,6 +23,7 @@
 
 use crate::addr::NodeId;
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -93,6 +94,11 @@ pub struct FaultRule {
     pub node: Option<NodeId>,
     /// Match only offsets in `[start, end)` (`None` = any).
     pub range: Option<(u64, u64)>,
+    /// Match only while the plan's phase (see [`FaultPlan::set_phase`])
+    /// equals this value (`None` = any phase). Out-of-phase accesses are
+    /// not counted toward `skip`, so "the Nth verb of migration step k"
+    /// is exact.
+    pub phase: Option<u32>,
     /// Number of matching verbs to let through before firing.
     pub skip: u64,
     /// Number of times to fire once armed (0 disables the rule).
@@ -108,6 +114,7 @@ impl FaultRule {
             kind: None,
             node: None,
             range: None,
+            phase: None,
             skip: 0,
             max_fires: 1,
             action,
@@ -129,6 +136,14 @@ impl FaultRule {
     /// Restricts the rule to accesses overlapping `[start, end)`.
     pub fn in_range(mut self, start: u64, end: u64) -> Self {
         self.range = Some((start, end));
+        self
+    }
+
+    /// Restricts the rule to one plan phase (a chaos harness advances the
+    /// plan's phase at protocol step boundaries, e.g. migrator steps, so
+    /// a rule can target "the first write of the parity re-encode step").
+    pub fn in_phase(mut self, phase: u32) -> Self {
+        self.phase = Some(phase);
         self
     }
 
@@ -191,6 +206,9 @@ struct RuleState {
 pub struct FaultPlan {
     rules: Mutex<Vec<RuleState>>,
     log: Mutex<Vec<FiredFault>>,
+    /// Current protocol phase, consulted by phase-filtered rules
+    /// (see [`FaultRule::in_phase`]).
+    phase: AtomicU32,
 }
 
 impl FaultPlan {
@@ -232,13 +250,30 @@ impl FaultPlan {
         self.log.lock().len()
     }
 
+    /// Advances the plan to protocol phase `p`: rules built with
+    /// [`FaultRule::in_phase`] match only while the plan sits in their
+    /// phase. The chaos harness calls this at migration step boundaries.
+    pub fn set_phase(&self, p: u32) {
+        self.phase.store(p, Ordering::Release);
+    }
+
+    /// The plan's current protocol phase (0 until [`FaultPlan::set_phase`]
+    /// is called).
+    pub fn phase(&self) -> u32 {
+        self.phase.load(Ordering::Acquire)
+    }
+
     /// Consults the plan for one access. Returns the action of the first
     /// rule that fires, or `None` to proceed normally. Match counters
     /// advance on every call, so "fail the Nth read" is exact even when
     /// earlier matches fired nothing.
     pub fn intercept(&self, site: FaultSite) -> Option<FaultAction> {
+        let phase = self.phase.load(Ordering::Acquire);
         let mut rules = self.rules.lock();
         for (i, rs) in rules.iter_mut().enumerate() {
+            if rs.rule.phase.is_some_and(|p| p != phase) {
+                continue;
+            }
             if !rs.rule.matches(&site) {
                 continue;
             }
@@ -331,6 +366,23 @@ mod tests {
         assert_eq!(log.len(), 2);
         assert_eq!(log[0].rule, 0);
         assert_eq!(log[1].rule, 1);
+    }
+
+    #[test]
+    fn phase_filter_gates_matching_and_counting() {
+        let plan = FaultPlan::with_rules(vec![FaultRule::new(FaultAction::Fail)
+            .in_phase(2)
+            .after(1)]);
+        let w = site(VerbKind::Write, 0, 0, 8);
+        // Phase 0: out-of-phase accesses neither fire nor count.
+        assert!(plan.intercept(w).is_none());
+        assert!(plan.intercept(w).is_none());
+        plan.set_phase(2);
+        assert_eq!(plan.phase(), 2);
+        assert!(plan.intercept(w).is_none()); // in-phase match 0 (skipped)
+        assert_eq!(plan.intercept(w), Some(FaultAction::Fail)); // match 1
+        plan.set_phase(3);
+        assert!(plan.intercept(w).is_none());
     }
 
     #[test]

@@ -17,6 +17,10 @@ pub enum FailureEvent {
     NodeFailed(NodeId),
     /// A fresh memory node joined (e.g. the recovery target).
     NodeJoined(NodeId),
+    /// A memory node was retired after a planned drain: its contents were
+    /// re-encoded elsewhere first, so subscribers must *not* trigger
+    /// recovery (contrast [`FailureEvent::NodeFailed`]).
+    NodeDrained(NodeId),
 }
 
 /// A point-in-time view of cluster membership.
@@ -78,6 +82,19 @@ impl Master {
         }
     }
 
+    /// Retires a node's lease after a planned drain and broadcasts
+    /// [`FailureEvent::NodeDrained`]. Like a failure the node leaves the
+    /// alive set and the epoch advances, but the event tells subscribers
+    /// the contents were moved, not lost.
+    pub fn mark_drained(&self, node: NodeId) {
+        let mut g = self.inner.lock();
+        if g.alive.remove(&node) {
+            g.epoch += 1;
+            g.subscribers
+                .retain(|s| s.send(FailureEvent::NodeDrained(node)).is_ok());
+        }
+    }
+
     /// Returns whether `node` currently holds a lease.
     pub fn is_alive(&self, node: NodeId) -> bool {
         self.inner.lock().alive.contains(&node)
@@ -132,6 +149,23 @@ mod tests {
         m.mark_failed(NodeId(0));
         assert_eq!(m.view().epoch, e2);
         assert!(e2 > e1);
+    }
+
+    #[test]
+    fn drain_retires_lease_with_distinct_event() {
+        let m = Master::new();
+        let rx = m.subscribe();
+        m.register(NodeId(2));
+        let e1 = m.view().epoch;
+        m.mark_drained(NodeId(2));
+        assert!(!m.is_alive(NodeId(2)));
+        assert!(m.view().epoch > e1);
+        // Idempotent, like mark_failed.
+        let e2 = m.view().epoch;
+        m.mark_drained(NodeId(2));
+        assert_eq!(m.view().epoch, e2);
+        assert_eq!(rx.recv().unwrap(), FailureEvent::NodeJoined(NodeId(2)));
+        assert_eq!(rx.recv().unwrap(), FailureEvent::NodeDrained(NodeId(2)));
     }
 
     #[test]

@@ -95,6 +95,11 @@ pub struct DmClient {
     trace_id: u32,
     /// Per-client event sequence number for the trace stream.
     trace_seq: AtomicU64,
+    /// Session placement epoch checked against node fences (see
+    /// [`DmClient::set_placement_epoch`]). Defaults to `u64::MAX`, which
+    /// passes every fence: clients that do not participate in placement
+    /// (background, recovery, control plane) stay unaffected.
+    placement_epoch: AtomicU64,
 }
 
 impl DmClient {
@@ -112,7 +117,40 @@ impl DmClient {
             accr: Mutex::new(Accrual::default()),
             trace_id,
             trace_seq: AtomicU64::new(0),
+            placement_epoch: AtomicU64::new(u64::MAX),
         }
+    }
+
+    /// Declares the placement epoch this client's address resolution is
+    /// based on. Verbs targeting a range fenced at a newer epoch (see
+    /// [`crate::MemoryNode::install_fence`]) fail with
+    /// [`RdmaError::EpochFenced`] until the client refreshes its placement
+    /// view and calls this again. Stands in for the epoch tag a real
+    /// fabric would carry in each request header.
+    pub fn set_placement_epoch(&self, epoch: u64) {
+        self.placement_epoch.store(epoch, Ordering::Release);
+    }
+
+    /// The placement epoch last declared via
+    /// [`DmClient::set_placement_epoch`] (`u64::MAX` if never set).
+    pub fn placement_epoch(&self) -> u64 {
+        self.placement_epoch.load(Ordering::Acquire)
+    }
+
+    /// Rejects an access overlapping a range fenced at a newer placement
+    /// epoch than this client has declared. One relaxed load when the
+    /// node carries no fences.
+    #[inline]
+    fn check_fence(&self, node: &MemoryNode, offset: u64, len: usize) -> Result<()> {
+        if let Some(required) = node.fence_required(offset, len) {
+            if self.placement_epoch.load(Ordering::Acquire) < required {
+                return Err(RdmaError::EpochFenced {
+                    node: node.id,
+                    required,
+                });
+            }
+        }
+        Ok(())
     }
 
     /// This client's id in verb traces (see [`crate::TraceEvent`]).
@@ -307,6 +345,7 @@ impl DmClient {
     /// `RDMA_READ`: reads `dst.len()` bytes at `addr`.
     pub fn read(&self, addr: GlobalAddr, dst: &mut [u8]) -> Result<()> {
         let node = self.node(addr.node)?;
+        self.check_fence(&node, addr.offset, dst.len())?;
         let kill = self.intercept(&node, VerbKind::Read, addr.offset, dst.len())?;
         node.region.read(addr.offset, dst)?;
         self.account(&node, VerbClass::Read, dst.len(), 0);
@@ -325,6 +364,7 @@ impl DmClient {
     /// Atomically loads the 8-byte word at `addr` (an 8 B `RDMA_READ`).
     pub fn read_u64(&self, addr: GlobalAddr) -> Result<u64> {
         let node = self.node(addr.node)?;
+        self.check_fence(&node, addr.offset, 8)?;
         let kill = self.intercept(&node, VerbKind::Read, addr.offset, 8)?;
         let v = node.region.load64(addr.offset)?;
         self.account(&node, VerbClass::Read, 8, 0);
@@ -336,6 +376,7 @@ impl DmClient {
     /// `RDMA_WRITE`: writes `src` at `addr`.
     pub fn write(&self, addr: GlobalAddr, src: &[u8]) -> Result<()> {
         let node = self.node(addr.node)?;
+        self.check_fence(&node, addr.offset, src.len())?;
         let kill = self.intercept(&node, VerbKind::Write, addr.offset, src.len())?;
         node.region.write(addr.offset, src)?;
         self.account(&node, VerbClass::Write, 0, src.len());
@@ -359,6 +400,7 @@ impl DmClient {
     pub fn cas(&self, addr: GlobalAddr, expected: u64, new: u64) -> Result<u64> {
         let node = self.node(addr.node)?;
         self.check_atomic_target(&node, VerbKind::Cas, addr.offset)?;
+        self.check_fence(&node, addr.offset, 8)?;
         let kill = self.intercept(&node, VerbKind::Cas, addr.offset, 8)?;
         let prev = node.region.cas64(addr.offset, expected, new)?;
         self.account(&node, VerbClass::Cas, 8, 8);
@@ -378,6 +420,7 @@ impl DmClient {
     pub fn faa(&self, addr: GlobalAddr, delta: u64) -> Result<u64> {
         let node = self.node(addr.node)?;
         self.check_atomic_target(&node, VerbKind::Faa, addr.offset)?;
+        self.check_fence(&node, addr.offset, 8)?;
         let kill = self.intercept(&node, VerbKind::Faa, addr.offset, 8)?;
         let prev = node.region.faa64(addr.offset, delta)?;
         self.account(&node, VerbClass::Faa, 8, 8);
@@ -566,6 +609,22 @@ impl DmClient {
         let cq = self.cq.lock().clone();
         if let Some(cq) = cq {
             cq.complete_in(us).await;
+        }
+    }
+
+    /// Deterministic backoff for retry policies: when a completion queue
+    /// is attached the delay accrues as virtual CQ time (paid at the next
+    /// [`DmClient::settle`]); otherwise the calling thread sleeps.
+    /// Keeping backoff on the virtual clock makes contention schedules
+    /// reproducible under the chaos harness.
+    pub fn backoff(&self, us: u64) {
+        if us == 0 {
+            return;
+        }
+        if self.cq_on.load(Ordering::Relaxed) {
+            self.accr.lock().us += us as f64;
+        } else {
+            std::thread::sleep(std::time::Duration::from_micros(us));
         }
     }
 
@@ -770,6 +829,53 @@ mod tests {
         cl.write(a, &[0u8; 8]).unwrap();
         block_on(None, cl.settle());
         assert_eq!(cq.pending(), 0);
+    }
+
+    #[test]
+    fn fences_reject_stale_epochs_only() {
+        let c = cluster();
+        let cl = c.client();
+        let node = c.node(NodeId(0)).unwrap();
+        let a = GlobalAddr::new(NodeId(0), 256);
+        cl.write(a, &[1u8; 8]).unwrap();
+        node.install_fence(256, 64, 5);
+
+        // No epoch declared (u64::MAX) passes: background/control clients.
+        assert!(cl.read_vec(a, 8).is_ok());
+
+        cl.set_placement_epoch(4);
+        let err = Err(RdmaError::EpochFenced {
+            node: NodeId(0),
+            required: 5,
+        });
+        assert_eq!(cl.write(a, &[2u8; 8]), err.clone());
+        assert_eq!(cl.read_vec(a, 8), err.clone().map(|()| vec![]));
+        assert_eq!(cl.cas(a, 0, 1), err.clone().map(|()| 0));
+        assert_eq!(cl.faa(a, 1), err.map(|()| 0));
+        // Fenced verbs never reached the NIC: memory and counters intact.
+        assert_eq!(cl.counters().snapshot().cas, 0);
+
+        // Outside the fenced range, and after a refresh, verbs proceed.
+        assert!(cl.write(a.add(64), &[3u8; 8]).is_ok());
+        cl.set_placement_epoch(5);
+        assert_eq!(cl.placement_epoch(), 5);
+        assert!(cl.write(a, &[4u8; 8]).is_ok());
+        node.clear_fences();
+        cl.set_placement_epoch(0);
+        assert!(cl.read_vec(a, 8).is_ok());
+    }
+
+    #[test]
+    fn backoff_accrues_on_virtual_clock() {
+        use crate::cq::{block_on, SimCq};
+        let c = cluster();
+        let cl = c.client();
+        let cq = Arc::new(SimCq::new());
+        cl.attach_cq(Arc::clone(&cq));
+        cl.backoff(750);
+        cl.backoff(0); // no-op
+        block_on(Some(Arc::clone(&cq)), cl.settle());
+        assert!((cq.now_us() - 750.0).abs() < 1e-6, "{}", cq.now_us());
     }
 
     #[test]
