@@ -28,6 +28,12 @@
 //!   slice of the elastic axis under the [`aceso_san`] happens-before
 //!   race detector, then runs the detector's mutation self-tests and the
 //!   static protocol lints (see [`analyze`]).
+//! * `chaos explore [--ci]` — the bounded model-checking axis: the
+//!   [`aceso_model`] explorer enumerates every interleaving of 2–3
+//!   coroutine clients to a depth bound, crashes every scheduling point,
+//!   and judges each terminal state with the matrix invariants plus a
+//!   linearizability oracle; mutation self-tests prove the checker alive
+//!   (see [`explore`]).
 //!
 //! Every schedule derives from one `u64` seed; the same seed replays the
 //! identical schedule.
@@ -35,11 +41,13 @@
 pub mod analyze;
 pub mod cell;
 pub mod elastic_axis;
+pub mod explore;
 pub mod rt_axis;
 pub mod runner;
 pub mod sweep;
 
 pub use analyze::{AnalyzeReport, CellTrace, ElasticTrace, RtTrace, YcsbTrace};
+pub use explore::{run_explore, wgl_selftests, ExploreCliReport};
 pub use elastic_axis::{
     elastic_matrix, run_elastic_cell, run_elastic_cell_with_sink, run_elastic_matrix,
     ElasticBoundary, ElasticCell, ElasticKill, ElasticOutcome, ElasticReportCli,

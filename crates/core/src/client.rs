@@ -81,6 +81,41 @@ impl core::fmt::Display for CrashPoint {
     }
 }
 
+/// Deliberate protocol weakenings for checker-liveness self-tests.
+///
+/// The exhaustive explorer (`aceso-model`) proves its oracles are alive by
+/// re-running its scenarios with exactly one ordering edge of the commit
+/// protocol removed and asserting a violation is found, in the same spirit
+/// as `aceso-san`'s detector self-tests. Setting
+/// [`AcesoClient::mutation`] makes *every* operation of that client run the
+/// weakened protocol; production code never sets it.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ModelMutation {
+    /// Skip the commit CAS on the Atomic word but report the commit as
+    /// successful — an acknowledged update that no reader can ever see.
+    SkipCommitCas,
+    /// Issue the two delta writes *after* the commit CAS instead of
+    /// before it, reopening the torn window Algorithm 1 closes: a crash
+    /// between commit and delta write leaves an acknowledged-visible KV
+    /// whose rollback repair un-publishes it.
+    ReorderDeltaPastCommit,
+    /// Never break a stale Meta-epoch lock left by a crashed client —
+    /// writers give up instead (§3.2.2 remark 2 removed), so a crash
+    /// while locked wedges the slot forever.
+    SkipLockBreak,
+}
+
+impl core::fmt::Display for ModelMutation {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            ModelMutation::SkipCommitCas => "skip-commit-cas",
+            ModelMutation::ReorderDeltaPastCommit => "reorder-delta-past-commit",
+            ModelMutation::SkipLockBreak => "skip-lock-break",
+        };
+        f.write_str(s)
+    }
+}
+
 #[derive(Clone, Copy, Debug)]
 struct DeltaRef {
     col: usize,
@@ -264,6 +299,12 @@ pub struct AcesoClient {
     /// Armed injection site: the next operation reaching it aborts with
     /// [`StoreError::Shutdown`], simulating a client crash mid-protocol.
     pub crash_point: Option<CrashPoint>,
+    /// Armed protocol weakening (checker-liveness self-tests only); see
+    /// [`ModelMutation`].
+    pub mutation: Option<ModelMutation>,
+    /// Delta writes held back by [`ModelMutation::ReorderDeltaPastCommit`],
+    /// issued after the commit CAS instead of inside the write batch.
+    deferred_deltas: Vec<(usize, u64, Vec<u8>)>,
     /// Pre-resolved metric handles; `None` (the default) keeps every
     /// probe on the existing no-recorder fast path.
     metrics: Option<ClientMetrics>,
@@ -307,6 +348,8 @@ impl AcesoClient {
             pending_count: 0,
             alloc_rr: cli_id as usize,
             crash_point: None,
+            mutation: None,
+            deferred_deltas: Vec::new(),
             metrics: obs.registry().map(|r| ClientMetrics::new(r)),
         }
     }
@@ -1204,6 +1247,11 @@ impl AcesoClient {
                 }
                 spins += 1;
                 if spins >= 50 {
+                    if self.mutation == Some(ModelMutation::SkipLockBreak) {
+                        // Mutation: give up instead of breaking the stale
+                        // lock — the liveness the oracle must catch losing.
+                        return Err(StoreError::RetriesExhausted);
+                    }
                     // Break: re-lock at the next odd epoch.
                     let relock = SlotMeta {
                         len64: meta.len64,
@@ -1272,10 +1320,16 @@ impl AcesoClient {
         // Atomic word it lands on (aceso-san derives happens-before from
         // exactly this ordering — see the skip-commit-cas and
         // commit-before-write self-tests).
-        let prev = index.cas_atomic(&self.dm, slot_addr, atomic, new_atomic);
-        self.dm.settle().await;
-        let prev = prev?;
+        let prev = if self.mutation == Some(ModelMutation::SkipCommitCas) {
+            // Mutation: report the commit as won without issuing the CAS.
+            atomic
+        } else {
+            let prev = index.cas_atomic(&self.dm, slot_addr, atomic, new_atomic);
+            self.dm.settle().await;
+            prev?
+        };
         let committed = prev == atomic;
+        self.flush_deferred_deltas().await?;
         if committed {
             self.maybe_crash(CrashPoint::AfterCommit)?;
         }
@@ -1377,6 +1431,10 @@ impl AcesoClient {
         };
         if slot.atomic != entry.atomic || slot.meta != entry.meta || slot.meta.is_locked() {
             // Speculation lost: someone committed (or locked) under us.
+            // Any mutation-held delta writes still belong to the retired
+            // slot image — land them so its invalidation fix-ups stay
+            // parity-linear.
+            self.flush_deferred_deltas().await?;
             self.defer_invalidate(&place);
             self.cache.remove(key);
             if !slot.meta.is_locked()
@@ -1410,10 +1468,16 @@ impl AcesoClient {
         };
         // Commit point: the same release edge as `commit_update` — the CAS
         // publishes the batch above and must stay strictly after it.
-        let prev = index.cas_atomic(&self.dm, entry.slot_addr, entry.atomic, new_atomic);
-        self.dm.settle().await;
-        let prev = prev?;
+        let prev = if self.mutation == Some(ModelMutation::SkipCommitCas) {
+            // Mutation: report the commit as won without issuing the CAS.
+            entry.atomic
+        } else {
+            let prev = index.cas_atomic(&self.dm, entry.slot_addr, entry.atomic, new_atomic);
+            self.dm.settle().await;
+            prev?
+        };
         let committed = prev == entry.atomic;
+        self.flush_deferred_deltas().await?;
         if committed {
             self.maybe_crash(CrashPoint::AfterCommit)?;
         }
@@ -1478,6 +1542,7 @@ impl AcesoClient {
 
         self.maybe_crash(CrashPoint::BeforeKvWrite)?;
         let crash = self.crash_point;
+        let defer = self.mutation == Some(ModelMutation::ReorderDeltaPastCommit);
         let invals = std::mem::take(&mut self.pending_inval);
         let mut kv_read: aceso_rdma::Result<Vec<u8>> = Ok(Vec::new());
         let mut res: Result<()> = Ok(());
@@ -1491,8 +1556,10 @@ impl AcesoClient {
                 if crash == Some(CrashPoint::AfterKvWrite) {
                     return Err(StoreError::Shutdown);
                 }
-                for (dcol, doff) in place.deltas {
-                    self.write_block(dm, dcol, doff, &delta)?;
+                if !defer {
+                    for (dcol, doff) in place.deltas {
+                        self.write_block(dm, dcol, doff, &delta)?;
+                    }
                 }
                 if crash == Some(CrashPoint::BeforeCommit) {
                     return Err(StoreError::Shutdown);
@@ -1506,6 +1573,13 @@ impl AcesoClient {
             self.unwind_fenced_place(&place).await?;
         }
         res?;
+        if defer {
+            // Mutation: the batch omitted the delta copies; hold them for
+            // the post-commit flush.
+            for (dcol, doff) in place.deltas {
+                self.deferred_deltas.push((dcol, doff, delta.clone()));
+            }
+        }
 
         let identity = kv_read
             .ok()
@@ -1514,6 +1588,7 @@ impl AcesoClient {
             Some((true, tomb, false)) => {
                 if tomb && !allow_insert {
                     // Concurrent delete won: surface it, retire our bytes.
+                    self.flush_deferred_deltas().await?;
                     self.defer_invalidate(&place);
                     self.flush_invals()?;
                     self.dm.settle().await;
@@ -1523,6 +1598,7 @@ impl AcesoClient {
             _ => {
                 // Collision, invalidated KV, or unreadable bytes: back off
                 // to the slow path, which verifies via reconstruction.
+                self.flush_deferred_deltas().await?;
                 self.defer_invalidate(&place);
                 return Ok(CommitOutcome::Retry);
             }
@@ -1534,9 +1610,15 @@ impl AcesoClient {
             ver: new_ver,
         };
         // Commit point: release edge after the write batch, as always.
-        let prev = index.cas_atomic(&self.dm, slot_addr, fresh.atomic, new_atomic);
-        self.dm.settle().await;
-        let prev = prev?;
+        let prev = if self.mutation == Some(ModelMutation::SkipCommitCas) {
+            // Mutation: report the commit as won without issuing the CAS.
+            fresh.atomic
+        } else {
+            let prev = index.cas_atomic(&self.dm, slot_addr, fresh.atomic, new_atomic);
+            self.dm.settle().await;
+            prev?
+        };
+        self.flush_deferred_deltas().await?;
         if prev != fresh.atomic {
             self.defer_invalidate(&place);
             return Ok(CommitOutcome::Retry);
@@ -1594,6 +1676,7 @@ impl AcesoClient {
         let prev = index.cas_atomic(&self.dm, target, SlotAtomic::default(), new_atomic);
         self.dm.settle().await;
         let prev = prev?;
+        self.flush_deferred_deltas().await?;
         if !prev.is_empty() {
             self.defer_invalidate(&place);
             return Ok(CommitOutcome::Retry);
@@ -1643,6 +1726,7 @@ impl AcesoClient {
         let (buf, delta) = Self::encode_kv(place, sv, key, value, tombstone);
         self.maybe_crash(CrashPoint::BeforeKvWrite)?;
         let crash = self.crash_point;
+        let defer = self.mutation == Some(ModelMutation::ReorderDeltaPastCommit);
         // Deferred invalidations of earlier speculation losses ride in
         // this batch (independent inline writes, no extra round trip).
         let invals = std::mem::take(&mut self.pending_inval);
@@ -1667,8 +1751,10 @@ impl AcesoClient {
                 if crash == Some(CrashPoint::AfterKvWrite) {
                     return Err(StoreError::Shutdown);
                 }
-                for (dcol, doff) in place.deltas {
-                    self.write_block(dm, dcol, doff, &delta)?;
+                if !defer {
+                    for (dcol, doff) in place.deltas {
+                        self.write_block(dm, dcol, doff, &delta)?;
+                    }
                 }
                 if crash == Some(CrashPoint::BeforeCommit) {
                     return Err(StoreError::Shutdown);
@@ -1688,6 +1774,13 @@ impl AcesoClient {
             self.unwind_fenced_place(place).await?;
         }
         res?;
+        if defer && !matches!(&slot_read, Some(Err(_))) {
+            // Mutation: the batch omitted the delta copies; hold them for
+            // the post-commit flush.
+            for (dcol, doff) in place.deltas {
+                self.deferred_deltas.push((dcol, doff, delta.clone()));
+            }
+        }
         match slot_read {
             Some(Ok(slot)) => Ok(Some(slot)),
             Some(Err(e)) => {
@@ -1696,6 +1789,28 @@ impl AcesoClient {
             }
             None => Ok(None),
         }
+    }
+
+    /// Lands the delta writes held back by
+    /// [`ModelMutation::ReorderDeltaPastCommit`] — strictly *after* the
+    /// commit CAS, which is exactly the mis-ordering the mutation exists
+    /// to inject. A no-op (no verbs, no suspension) when nothing is held.
+    async fn flush_deferred_deltas(&mut self) -> Result<()> {
+        if self.deferred_deltas.is_empty() {
+            return Ok(());
+        }
+        let writes = std::mem::take(&mut self.deferred_deltas);
+        let mut res: Result<()> = Ok(());
+        self.dm.batch(|dm| {
+            res = (|| -> Result<()> {
+                for (dcol, doff, bytes) in &writes {
+                    self.write_block(dm, *dcol, *doff, bytes)?;
+                }
+                Ok(())
+            })();
+        });
+        self.dm.settle().await;
+        res
     }
 
     /// Unwinds a write batch that bounced off an epoch fence after some

@@ -36,7 +36,7 @@ pub mod scrub;
 pub mod server;
 pub mod store;
 
-pub use client::AcesoClient;
+pub use client::{AcesoClient, ModelMutation};
 pub use config::{AcesoConfig, ClientTuning, MemoryMap};
 pub use elastic::{ElasticReport, ElasticStep, Migration};
 pub use placement::{ElasticKind, MigrationView, PlacementMap, PlacementSnapshot};

@@ -52,6 +52,7 @@ struct CompletionState {
 struct Entry {
     deadline_ns: u64,
     seq: u64,
+    tag: u32,
     state: Arc<CompletionState>,
 }
 
@@ -112,6 +113,16 @@ impl SimCq {
     /// now; the returned future resolves when [`SimCq::advance_next`] has
     /// moved the virtual clock past its deadline.
     pub fn complete_in(&self, us: f64) -> Completion {
+        self.complete_in_tagged(us, 0)
+    }
+
+    /// [`SimCq::complete_in`] with a submitter tag attached to the pending
+    /// entry. Tags let a scheduler that drives the clock attribute each
+    /// pending completion to the task that posted it (a `DmClient` tags
+    /// with its trace id): [`SimCq::pending_entries`] exposes `(seq, tag)`
+    /// pairs and [`SimCq::deliver_seq`] delivers a chosen one. Delivery
+    /// order and the virtual clock are unaffected by the tag itself.
+    pub fn complete_in_tagged(&self, us: f64, tag: u32) -> Completion {
         let state = Arc::new(CompletionState::default());
         let wait_ns = (us * 1000.0).round().max(0.0) as u64;
         let mut g = self.inner.lock();
@@ -120,6 +131,7 @@ impl SimCq {
         let entry = Entry {
             deadline_ns: g.now_ns + wait_ns,
             seq: g.seq,
+            tag,
             state: Arc::clone(&state),
         };
         g.heap.push(entry);
@@ -161,6 +173,52 @@ impl SimCq {
     /// Number of completions currently pending delivery.
     pub fn pending(&self) -> usize {
         self.inner.lock().heap.len()
+    }
+
+    /// `(seq, tag)` of every pending completion, in submission order.
+    ///
+    /// This is the *enabled set* a model checker branches on: each entry is
+    /// one suspended task's next wake-up, and [`SimCq::deliver_seq`] picks
+    /// which of them the virtual fabric "finishes" first.
+    pub fn pending_entries(&self) -> Vec<(u64, u32)> {
+        let g = self.inner.lock();
+        let mut v: Vec<(u64, u32)> = g.heap.iter().map(|e| (e.seq, e.tag)).collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Delivers the pending completion with submission sequence `seq`,
+    /// regardless of its deadline — the virtual-clock *fork* used by the
+    /// exhaustive explorer. The clock advances to the entry's deadline if
+    /// that is later than now (it never moves backwards), modelling a
+    /// fabric where any in-flight round trip may finish first. Returns
+    /// `false` if no pending entry has that sequence number.
+    pub fn deliver_seq(&self, seq: u64) -> bool {
+        let entry = {
+            let mut g = self.inner.lock();
+            let mut rest: Vec<Entry> = Vec::with_capacity(g.heap.len());
+            let mut found = None;
+            while let Some(e) = g.heap.pop() {
+                if e.seq == seq && found.is_none() {
+                    found = Some(e);
+                } else {
+                    rest.push(e);
+                }
+            }
+            for e in rest {
+                g.heap.push(e);
+            }
+            let Some(e) = found else {
+                return false;
+            };
+            g.now_ns = g.now_ns.max(e.deadline_ns);
+            e
+        };
+        entry.state.done.store(true, Ordering::Release);
+        if let Some(w) = entry.state.waker.lock().take() {
+            w.wake();
+        }
+        true
     }
 }
 
@@ -275,6 +333,26 @@ mod tests {
         });
         assert_eq!(v, 42);
         assert_eq!(cq.now_us(), 4.0);
+    }
+
+    #[test]
+    fn deliver_seq_forks_the_deadline_order() {
+        let cq = SimCq::new();
+        let late = cq.complete_in_tagged(10.0, 7);
+        let early = cq.complete_in_tagged(2.0, 9);
+        assert_eq!(cq.pending_entries(), vec![(1, 7), (2, 9)]);
+        // Deliver the *late* completion first: the clock jumps to its
+        // deadline and the early one stays pending.
+        assert!(cq.deliver_seq(1));
+        assert_eq!(cq.now_us(), 10.0);
+        block_on_ready(late);
+        assert_eq!(cq.pending_entries(), vec![(2, 9)]);
+        // Delivering the early one now must not move the clock backwards.
+        assert!(cq.deliver_seq(2));
+        assert_eq!(cq.now_us(), 10.0);
+        block_on_ready(early);
+        assert!(!cq.deliver_seq(2));
+        assert!(cq.pending_entries().is_empty());
     }
 
     #[test]

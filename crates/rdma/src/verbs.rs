@@ -598,6 +598,11 @@ impl DmClient {
     /// trip". Async client ops call this at every point the real protocol
     /// blocks on the fabric. A no-op (and never suspends) when no CQ is
     /// attached or nothing has accrued.
+    ///
+    /// The pending completion is tagged with this client's trace id, so a
+    /// scheduler inspecting [`SimCq::pending_entries`] can attribute every
+    /// suspended round trip to the client that posted it (the exhaustive
+    /// explorer branches on exactly that set).
     pub async fn settle(&self) {
         if !self.cq_on.load(Ordering::Acquire) {
             return;
@@ -608,7 +613,7 @@ impl DmClient {
         }
         let cq = self.cq.lock().clone();
         if let Some(cq) = cq {
-            cq.complete_in(us).await;
+            cq.complete_in_tagged(us, self.trace_id).await;
         }
     }
 

@@ -24,10 +24,12 @@
 #![forbid(unsafe_code)]
 
 pub mod detect;
+pub mod hb;
 pub mod lint;
 pub mod selftest;
 pub mod vc;
 
 pub use detect::{Access, Annotator, Detector, Race, RaceKind};
+pub use hb::{accesses_conflict, footprints_conflict};
 pub use selftest::SelftestOutcome;
 pub use vc::VectorClock;

@@ -10,8 +10,12 @@
 //!   and the per-MN memory map has no overlapping areas.
 //! * **Source lints** walk the workspace source (resolved relative to this
 //!   crate's manifest) for invariants that live in the text: every
-//!   `CrashPoint` variant is wired into `maybe_crash` call sites, and
-//!   hardcoded layout literals match the constants they mirror.
+//!   `CrashPoint` variant is wired into `maybe_crash` call sites,
+//!   hardcoded layout literals match the constants they mirror, every
+//!   `ElasticStep` migrator boundary has kill coverage in the
+//!   `chaos elastic` axis, and every `.settle().await` suspension point
+//!   in the async client is inventoried in the model checker's step
+//!   table (so `chaos explore` never silently under-explores).
 //!
 //! The `#[test]`s at the bottom make `cargo test` the lint driver; `chaos
 //! analyze` runs [`run_all`] too so the CI line exercises them.
@@ -278,6 +282,166 @@ pub fn lint_remote_index_literals() -> Vec<String> {
     v
 }
 
+/// Source lint: every `ElasticStep` variant the migrator declares in
+/// `core/elastic.rs` must be mapped in the `chaos elastic` axis
+/// (`chaos/src/elastic_axis.rs`), so a newly added migration step
+/// boundary cannot ship without kill coverage. `Done` is the terminal
+/// no-op state; it needs no kill cell but must still be mapped if the
+/// axis matches on it.
+pub fn lint_elastic_steps() -> Vec<String> {
+    let mut v = Vec::new();
+    let Some(core_src) = read_source(&mut v, "crates/core/src/elastic.rs") else {
+        return v;
+    };
+    let Some(axis_src) = read_source(&mut v, "crates/chaos/src/elastic_axis.rs") else {
+        return v;
+    };
+    let Some(decl) = core_src
+        .split("pub enum ElasticStep {")
+        .nth(1)
+        .and_then(|rest| rest.split('}').next())
+    else {
+        v.push("cannot find `pub enum ElasticStep` in core/elastic.rs".into());
+        return v;
+    };
+    let variants: Vec<&str> = decl
+        .lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with("//"))
+        .filter_map(|l| l.strip_suffix(','))
+        .map(|l| l.split('(').next().unwrap_or(l))
+        .collect();
+    if variants.is_empty() {
+        v.push("ElasticStep declares no variants?".into());
+    }
+    for var in &variants {
+        if *var == "Done" {
+            // Terminal state: nothing left to kill at its boundary.
+            continue;
+        }
+        let qualified = format!("ElasticStep::{var}");
+        if !axis_src.contains(qualified.as_str()) {
+            v.push(format!(
+                "migrator step {qualified} has no kill coverage in chaos/src/elastic_axis.rs"
+            ));
+        }
+    }
+    v
+}
+
+/// Counts `.settle().await` occurrences per enclosing `fn` in client
+/// source (line-based, mirroring `aceso-model`'s scanner).
+fn settle_sites_per_fn(src: &str) -> Vec<(String, usize)> {
+    let mut counts: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
+    let mut cur: Option<String> = None;
+    for line in src.lines() {
+        let mut t = line.trim_start();
+        for prefix in ["pub(crate) ", "pub ", "async "] {
+            t = t.strip_prefix(prefix).unwrap_or(t);
+        }
+        t = t.strip_prefix("async ").unwrap_or(t);
+        if let Some(rest) = t.strip_prefix("fn ") {
+            let name: String = rest
+                .chars()
+                .take_while(|c| c.is_ascii_alphanumeric() || *c == '_')
+                .collect();
+            if !name.is_empty() {
+                cur = Some(name);
+            }
+        }
+        if line.contains(".settle().await") {
+            let name = cur.clone().unwrap_or_else(|| "<toplevel>".to_string());
+            *counts.entry(name).or_insert(0) += 1;
+        }
+    }
+    counts.into_iter().collect()
+}
+
+/// Parses `(name, count)` rows out of the model crate's `STEP_TABLE`
+/// source text: quoted strings and integer literals appear in strict
+/// `(fn, sites, label)` order, so tokenizing and chunking by row is
+/// layout-insensitive.
+fn parse_step_table(block: &str) -> Vec<(String, usize)> {
+    let mut strings: Vec<String> = Vec::new();
+    let mut ints: Vec<usize> = Vec::new();
+    let mut chars = block.chars().peekable();
+    while let Some(c) = chars.next() {
+        if c == '"' {
+            let mut s = String::new();
+            for c in chars.by_ref() {
+                if c == '"' {
+                    break;
+                }
+                s.push(c);
+            }
+            strings.push(s);
+        } else if c.is_ascii_digit() {
+            let mut n = String::from(c);
+            while let Some(d) = chars.peek() {
+                if d.is_ascii_digit() {
+                    n.push(*d);
+                    chars.next();
+                } else {
+                    break;
+                }
+            }
+            ints.push(n.parse().unwrap_or(0));
+        }
+    }
+    // Row i is (strings[2*i], ints[i], strings[2*i + 1]).
+    strings
+        .chunks(2)
+        .zip(ints)
+        .map(|(pair, n)| (pair[0].clone(), n))
+        .collect()
+}
+
+/// Source lint: every `.settle().await` suspension point in the async
+/// client must be inventoried in the model checker's step table
+/// (`crates/model/src/step_table.rs`), per function and with the exact
+/// site count — otherwise the explorer's step space silently lags the
+/// code. The same drift also fails `chaos explore --ci` from the model
+/// side; this lint makes `chaos analyze --ci` and `cargo test` catch it
+/// without building the explorer.
+pub fn lint_settle_coverage() -> Vec<String> {
+    let mut v = Vec::new();
+    let Some(client_src) = read_source(&mut v, "crates/core/src/client.rs") else {
+        return v;
+    };
+    let Some(model_src) = read_source(&mut v, "crates/model/src/step_table.rs") else {
+        return v;
+    };
+    let Some(block) = model_src
+        .split("pub const STEP_TABLE")
+        .nth(1)
+        .and_then(|rest| rest.split("];").next())
+    else {
+        v.push("cannot find STEP_TABLE in model/src/step_table.rs".into());
+        return v;
+    };
+    let table = parse_step_table(block);
+    let actual = settle_sites_per_fn(&client_src);
+    for (name, sites) in &actual {
+        match table.iter().find(|(n, _)| n == name) {
+            None => v.push(format!(
+                "`{name}` has {sites} .settle().await site(s) but no STEP_TABLE row"
+            )),
+            Some((_, listed)) if listed != sites => v.push(format!(
+                "`{name}` has {sites} .settle().await site(s) but STEP_TABLE lists {listed}"
+            )),
+            Some(_) => {}
+        }
+    }
+    for (name, listed) in &table {
+        if !actual.iter().any(|(n, _)| n == name) {
+            v.push(format!(
+                "STEP_TABLE lists `{name}` ({listed} sites) but client.rs has no such suspension point"
+            ));
+        }
+    }
+    v
+}
+
 /// Runs every lint; empty result = the protocol invariants hold.
 pub fn run_all() -> Vec<String> {
     let mut v = Vec::new();
@@ -288,6 +452,8 @@ pub fn run_all() -> Vec<String> {
     v.extend(lint_pack48());
     v.extend(lint_crash_points());
     v.extend(lint_remote_index_literals());
+    v.extend(lint_elastic_steps());
+    v.extend(lint_settle_coverage());
     v
 }
 
@@ -328,5 +494,49 @@ mod tests {
     #[test]
     fn remote_index_literals_match_layout() {
         assert_eq!(lint_remote_index_literals(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn elastic_steps_are_covered() {
+        assert_eq!(lint_elastic_steps(), Vec::<String>::new());
+    }
+
+    #[test]
+    fn settle_sites_are_inventoried() {
+        assert_eq!(lint_settle_coverage(), Vec::<String>::new());
+    }
+
+    /// The tokenizer handles both single-line and multi-line table rows.
+    #[test]
+    fn step_table_parser_reads_rows() {
+        let block = r#"
+            ("upsert", 1, "route"),
+            (
+                "commit_update",
+                9,
+                "long label, with commas",
+            ),
+        "#;
+        assert_eq!(
+            parse_step_table(block),
+            vec![("upsert".to_string(), 1), ("commit_update".to_string(), 9)]
+        );
+    }
+
+    /// The settle scanner attributes sites to the enclosing fn.
+    #[test]
+    fn settle_scanner_attributes_sites() {
+        let src = "pub(crate) async fn alpha(&self) {\n\
+                   \x20   self.dm.settle().await?;\n\
+                   }\n\
+                   fn beta() {}\n\
+                   async fn gamma(&self) {\n\
+                   \x20   a.settle().await;\n\
+                   \x20   b.settle().await;\n\
+                   }\n";
+        assert_eq!(
+            settle_sites_per_fn(src),
+            vec![("alpha".to_string(), 1), ("gamma".to_string(), 2)]
+        );
     }
 }
