@@ -55,7 +55,14 @@ fn usage() -> ! {
          \n\
          Measures client throughput between every step of an online\n\
          join and drain migration; writes the table to\n\
-         results/elastic.txt (or --out)."
+         results/elastic.txt (or --out).\n\
+         \n\
+         usage: bench table3 [--seed <hex>] [--out <path>]\n\
+         \n\
+         Runs the three-way fault-tolerance head-to-head (aceso vs\n\
+         fusee vs swarm, plus r=2 budget rows) through the FtEngine\n\
+         seam; writes the table to results/table3.txt (or --out).\n\
+         The output is a pure function of the seed — CI diffs it."
     );
     std::process::exit(2);
 }
@@ -69,6 +76,7 @@ fn main() {
         Some("quick") => "BENCH_PR4.json".to_string(),
         Some("clients") => "results/clients.txt".to_string(),
         Some("elastic") => "results/elastic.txt".to_string(),
+        Some("table3") => "results/table3.txt".to_string(),
         _ => usage(),
     };
     let mut it = args[1..].iter();
@@ -102,6 +110,12 @@ fn main() {
         }
         Some("elastic") => {
             let slice = aceso_bench::elastic_slice(seed);
+            print!("{}", slice.render());
+            std::fs::write(&out, slice.render()).expect("write slice");
+            println!("wrote {out}");
+        }
+        Some("table3") => {
+            let slice = aceso_bench::table3_slice(seed);
             print!("{}", slice.render());
             std::fs::write(&out, slice.render()).expect("write slice");
             println!("wrote {out}");

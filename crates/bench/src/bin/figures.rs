@@ -6,7 +6,9 @@
 //! ```
 //!
 //! Experiments: `fig1a fig1b fig8 fig9 fig10 fig11 fig12 fig13 fig14
-//! fig15 fig16 fig17 fig18 fig19 fig20 table2 table3`.
+//! fig15 fig16 fig17 fig18 fig19 fig20 table2 mn_cpu`. (The paper's
+//! Table 3 head-to-head lives in `bench table3`, which is deterministic
+//! and CI-diffed; `mn_cpu` is the wall-clock §4.4 utilization table.)
 //!
 //! Each experiment prints the same rows/series the paper reports and is
 //! also written to `<out>/<experiment>.txt` (default `results/`).
@@ -66,7 +68,7 @@ fn main() {
                     "fig19",
                     "fig20",
                     "table2",
-                    "table3",
+                    "mn_cpu",
                     "ablation_ckpt",
                     "ablation_recovery",
                 ]
@@ -83,7 +85,7 @@ fn main() {
         );
         eprintln!(
             "experiments: fig1a fig1b fig8 fig9 fig10 fig11 fig12 fig13 fig14 fig15 \
-             fig16 fig17 fig18 fig19 fig20 table2 table3 ablation_ckpt ablation_recovery"
+             fig16 fig17 fig18 fig19 fig20 table2 mn_cpu ablation_ckpt ablation_recovery"
         );
         std::process::exit(2);
     }
@@ -108,7 +110,7 @@ fn main() {
             "fig19" => figs::fig19::fig19(full19),
             "fig20" => figs::fig20::fig20(scale),
             "table2" => figs::table2::table2(scale),
-            "table3" => figs::table3::table3(scale),
+            "mn_cpu" => figs::mn_cpu::mn_cpu(scale),
             "ablation_ckpt" => figs::ablation::ablation_ckpt(scale),
             "ablation_recovery" => figs::ablation::ablation_recovery(scale),
             other => {

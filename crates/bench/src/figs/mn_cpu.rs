@@ -1,4 +1,4 @@
-//! Table 3 — MN CPU load (paper §4.4): utilization of the four logical
+//! MN CPU load (paper §4.4): utilization of the four logical
 //! server cores (RPC serving, erasure coding, checkpoint sending,
 //! checkpoint receiving) under an all-write workload with live
 //! checkpointing.
@@ -20,7 +20,7 @@ use std::time::Instant;
 /// function of the workload — identical on any machine — while the
 /// utilization percentages still come from real measured busy-ns over the
 /// real elapsed window.
-pub fn table3(scale: BenchScale) -> FigureOutput {
+pub fn mn_cpu(scale: BenchScale) -> FigureOutput {
     // A 64 MB index per MN (the paper uses 256 MB) so checkpoint rounds do
     // visible work per 500 ms window.
     let store = AcesoStore::launch(aceso_core::AcesoConfig {
@@ -77,7 +77,7 @@ pub fn table3(scale: BenchScale) -> FigureOutput {
     }
     store.shutdown();
     FigureOutput {
-        id: "Table 3",
+        id: "MN CPU",
         text,
     }
 }

@@ -13,8 +13,8 @@ pub mod fig16_18;
 pub mod fig19;
 pub mod fig20;
 pub mod fig8_9;
+pub mod mn_cpu;
 pub mod table2;
-pub mod table3;
 
 /// A rendered experiment: a title plus the table body.
 pub struct FigureOutput {

@@ -20,10 +20,12 @@ pub mod clients;
 pub mod elastic;
 pub mod figs;
 pub mod harness;
+pub mod table3;
 
 pub use clients::{clients_sweep, ClientsSweep, SweepRow};
 pub use elastic::{elastic_slice, ElasticPhase, ElasticSlice};
 pub use harness::{BenchScale, Phase};
+pub use table3::{table3_slice, Table3Row, Table3Slice};
 
 /// Formats a Mops number for tables.
 pub fn fmt_mops(x: f64) -> String {

@@ -20,22 +20,32 @@
 //!    detector: client verbs interleave with the migrator's fence installs
 //!    and copy RPCs, so every cross-epoch handoff (stale write → fence
 //!    bounce → refreshed write) must be RPC- or barrier-ordered.
-//! 5. **Liveness + lints** — the mutation self-tests
+//! 5. **Backends-axis trace** — a slice of the per-engine crash matrix
+//!    ([`crate::backends_axis`]) reruns under the detector, one cell per
+//!    [`aceso_engines::EngineKind`]: the replication engines' commit
+//!    protocols (write-then-CAS publication, doorbell-batched 1-RTT
+//!    commits) must order every cross-client handoff just as Aceso's do,
+//!    including across a torn write and its reconcile pass.
+//! 6. **Liveness + lints** — the mutation self-tests
 //!    ([`aceso_san::selftest`]) prove each ordering edge is actually
 //!    checked (a weakened edge must produce a report), and the static
 //!    protocol lints ([`aceso_san::lint`]) check layout constants and
 //!    `CrashPoint` wiring.
 //!
-//! The run is clean only when all five stages are: zero races, zero
+//! The run is clean only when all six stages are: zero races, zero
 //! detector violations, every self-test live, zero lint findings — and the
 //! traced cells still hold their invariants.
 
+use crate::backends_axis::{
+    run_backends_cell_with_sink, BackendCell, BackendFault, BackendOp,
+};
 use crate::cell::Cell;
 use crate::elastic_axis::{run_elastic_cell_with_sink, ElasticBoundary, ElasticCell, ElasticKill};
 use crate::rt_axis::{run_rt_cell_with_sink, RtKill};
 use crate::runner::{chaos_config, run_cell_with_sink};
 use crate::sweep::cell_seeds;
 use aceso_core::AcesoStore;
+use aceso_engines::EngineKind;
 use aceso_index::IndexWord;
 use aceso_rdma::TraceSink;
 use aceso_san::{lint, selftest, Annotator, Detector, SelftestOutcome};
@@ -134,6 +144,29 @@ impl ElasticTrace {
     }
 }
 
+/// Detector findings for one traced backends-axis cell (the shared crash
+/// script against one [`aceso_core::FtEngine`] implementation).
+#[derive(Clone, Debug)]
+pub struct BackendsTrace {
+    /// The cell that ran.
+    pub cell: BackendCell,
+    /// Events the detector processed.
+    pub events: u64,
+    /// Rendered races the detector reported.
+    pub races: Vec<String>,
+    /// Detector violations (misaligned atomics seen in the trace).
+    pub detector_violations: Vec<String>,
+    /// Invariant violations from the cell run itself.
+    pub cell_violations: Vec<String>,
+}
+
+impl BackendsTrace {
+    /// `true` when the cell raced nowhere and held its invariants.
+    pub fn ok(&self) -> bool {
+        self.races.is_empty() && self.detector_violations.is_empty() && self.cell_violations.is_empty()
+    }
+}
+
 /// Everything one `chaos analyze` run produced.
 #[derive(Clone, Debug)]
 pub struct AnalyzeReport {
@@ -147,6 +180,8 @@ pub struct AnalyzeReport {
     pub rt: Vec<RtTrace>,
     /// The elastic-axis trace findings (one per traced cell).
     pub elastic: Vec<ElasticTrace>,
+    /// The backends-axis trace findings (one per traced cell).
+    pub backends: Vec<BackendsTrace>,
     /// Mutation self-test outcomes (detector liveness proof).
     pub selftests: Vec<SelftestOutcome>,
     /// Static protocol lint findings.
@@ -161,6 +196,7 @@ impl AnalyzeReport {
             && self.ycsb.errors.is_empty()
             && self.rt.iter().all(RtTrace::ok)
             && self.elastic.iter().all(ElasticTrace::ok)
+            && self.backends.iter().all(BackendsTrace::ok)
             && self.selftests.iter().all(SelftestOutcome::ok)
             && self.lint_violations.is_empty()
     }
@@ -233,6 +269,23 @@ impl AnalyzeReport {
                 "  elastic {}: {} ops under migration, {} events, {} races\n",
                 t.cell,
                 t.committed_ops,
+                t.events,
+                t.races.len()
+            ));
+            for r in &t.races {
+                s.push_str(&format!("    race: {r}\n"));
+            }
+            for v in &t.detector_violations {
+                s.push_str(&format!("    detector: {v}\n"));
+            }
+            for v in &t.cell_violations {
+                s.push_str(&format!("    invariant: {v}\n"));
+            }
+        }
+        for t in &self.backends {
+            s.push_str(&format!(
+                "  backends {}: {} events, {} races\n",
+                t.cell,
                 t.events,
                 t.races.len()
             ));
@@ -475,7 +528,61 @@ pub fn analyze_elastic(seed: u64) -> Vec<ElasticTrace> {
     .collect()
 }
 
-/// Runs all five stages.
+/// A per-engine slice of the backends axis, traced: one cell per engine
+/// kind, chosen so each strategy's commit protocol is exercised across a
+/// fault — Aceso through the seam (a home-node kill mid-update), FUSEE's
+/// write-then-CAS replication across a torn client write plus its
+/// reconcile pass, and SWARM's doorbell-batched commit across both fault
+/// kinds. Aceso cells keep the memory-map annotator; the replication
+/// engines have their own layouts, so their detectors run unannotated.
+pub fn analyze_backends(seed: u64) -> Vec<BackendsTrace> {
+    [
+        BackendCell {
+            engine: EngineKind::Aceso,
+            op: BackendOp::Update,
+            fault: BackendFault::KillMn,
+            skip: 0,
+        },
+        BackendCell {
+            engine: EngineKind::Fusee,
+            op: BackendOp::Update,
+            fault: BackendFault::CrashCn,
+            skip: 0,
+        },
+        BackendCell {
+            engine: EngineKind::Swarm,
+            op: BackendOp::Update,
+            fault: BackendFault::CrashCn,
+            skip: 2,
+        },
+        BackendCell {
+            engine: EngineKind::Swarm,
+            op: BackendOp::Insert,
+            fault: BackendFault::KillMn,
+            skip: 0,
+        },
+    ]
+    .into_iter()
+    .map(|cell| {
+        let det = if cell.engine == EngineKind::Aceso {
+            Arc::new(Detector::with_annotator(annotator()))
+        } else {
+            Arc::new(Detector::new())
+        };
+        let sink: Arc<dyn TraceSink> = det.clone();
+        let out = run_backends_cell_with_sink(&cell, seed, Some(sink));
+        BackendsTrace {
+            cell,
+            events: det.events(),
+            races: det.races().iter().map(|r| r.to_string()).collect(),
+            detector_violations: det.violations(),
+            cell_violations: out.violations,
+        }
+    })
+    .collect()
+}
+
+/// Runs all six stages.
 pub fn analyze(
     cells: &[Cell],
     seed: u64,
@@ -485,12 +592,14 @@ pub fn analyze(
     let ycsb = analyze_ycsb(seed);
     let rt = analyze_rt(seed);
     let elastic = analyze_elastic(seed);
+    let backends = analyze_backends(seed);
     AnalyzeReport {
         seed,
         cells: cell_traces,
         ycsb,
         rt,
         elastic,
+        backends,
         selftests: selftest::run_all(),
         lint_violations: lint::run_all(),
     }
@@ -561,6 +670,25 @@ mod tests {
             );
             assert!(t.events > 100, "elastic {}: only {} events", t.cell, t.events);
             assert!(t.committed_ops > 0, "elastic {}: no ops committed", t.cell);
+        }
+    }
+
+    /// The traced backends slice is race-free on every engine: FUSEE's
+    /// write-then-CAS replication and SWARM's doorbell-batched commit
+    /// order every cross-client handoff across torn writes and node
+    /// kills, just like Aceso's native protocol.
+    #[test]
+    fn backends_traces_are_race_free() {
+        for t in analyze_backends(crate::DEFAULT_SEED) {
+            assert!(
+                t.ok(),
+                "backends {}: races {:?}, violations {:?}/{:?}",
+                t.cell,
+                t.races,
+                t.detector_violations,
+                t.cell_violations
+            );
+            assert!(t.events > 100, "backends {}: only {} events", t.cell, t.events);
         }
     }
 

@@ -10,7 +10,7 @@
 //! liveness, Index-Version monotonicity, parity-stripe consistency — see
 //! [`runner`]).
 //!
-//! The `chaos` binary exposes four modes:
+//! The `chaos` binary exposes these modes:
 //!
 //! * `chaos sweep [--ci]` — deterministic matrix sweep with a coverage
 //!   report and minimized counterexamples; `--ci` is the fixed-seed
@@ -23,6 +23,11 @@
 //!   migration re-homes a column under live traffic and the joining MN,
 //!   the draining MN, or a CN dies at every migrator step boundary (see
 //!   [`elastic_axis`]).
+//! * `chaos backends [--ci]` — the per-engine axis: the same
+//!   (op × fault × skip) crash script runs against every
+//!   [`aceso_core::FtEngine`] implementation — Aceso, FUSEE-style full
+//!   replication, and the SWARM-style 1-RTT engine — through the seam's
+//!   strategy-blind invariants (see [`backends_axis`]).
 //! * `chaos analyze [--ci]` — reruns the sweep schedules, a
 //!   multi-client YCSB-A interleaving, the runtime-axis cells, and a
 //!   slice of the elastic axis under the [`aceso_san`] happens-before
@@ -39,6 +44,7 @@
 //! identical schedule.
 
 pub mod analyze;
+pub mod backends_axis;
 pub mod cell;
 pub mod elastic_axis;
 pub mod explore;
@@ -46,7 +52,11 @@ pub mod rt_axis;
 pub mod runner;
 pub mod sweep;
 
-pub use analyze::{AnalyzeReport, CellTrace, ElasticTrace, RtTrace, YcsbTrace};
+pub use analyze::{AnalyzeReport, BackendsTrace, CellTrace, ElasticTrace, RtTrace, YcsbTrace};
+pub use backends_axis::{
+    backends_matrix, run_backends_cell, run_backends_cell_with_sink, run_backends_matrix,
+    BackendCell, BackendFault, BackendOp, BackendOutcome, BackendsReportCli,
+};
 pub use explore::{run_explore, wgl_selftests, ExploreCliReport};
 pub use elastic_axis::{
     elastic_matrix, run_elastic_cell, run_elastic_cell_with_sink, run_elastic_matrix,

@@ -5,6 +5,7 @@
 //! chaos soak    [--seed N] [--seconds N] [--verbose]
 //! chaos rt      [--seed N]
 //! chaos elastic [--ci] [--seed N] [--verbose]
+//! chaos backends [--ci] [--seed N] [--verbose]
 //! chaos analyze [--ci] [--seed N] [--limit N] [--verbose]
 //! chaos explore [--ci] [--seed N] [--verbose]
 //! ```
@@ -16,8 +17,9 @@
 //! on any violation, 2 on usage errors.
 
 use aceso_chaos::{
-    analyze, ci_matrix, full_matrix, run_cell, run_elastic_matrix, run_explore, run_rt_cell, soak,
-    sweep, Cell, CellOutcome, CellTrace, RtKill, SweepReport, CI_CELLS, DEFAULT_SEED,
+    analyze, ci_matrix, full_matrix, run_backends_matrix, run_cell, run_elastic_matrix,
+    run_explore, run_rt_cell, soak, sweep, Cell, CellOutcome, CellTrace, RtKill, SweepReport,
+    CI_CELLS, DEFAULT_SEED,
 };
 use std::time::Duration;
 
@@ -27,6 +29,7 @@ fn usage() -> ! {
                 chaos soak    [--seed N] [--seconds N] [--verbose]\n\
                 chaos rt      [--seed N]\n\
                 chaos elastic [--ci] [--seed N] [--verbose]\n\
+                chaos backends [--ci] [--seed N] [--verbose]\n\
                 chaos analyze [--ci] [--seed N] [--limit N] [--verbose]\n\
                 chaos explore [--ci] [--seed N] [--verbose]\n\
                 chaos cell <op/site/kill/reclaim> [--seed N]\n\
@@ -39,6 +42,10 @@ fn usage() -> ! {
          elastic  kill the joining MN, the draining MN, or a CN at every\n\
          \x20        migrator step boundary of an online column migration\n\
          \x20        (15 cells; --ci is the same deterministic profile)\n\
+         backends run the shared (op x fault x skip) crash script against\n\
+         \x20        every FtEngine — aceso, fusee, swarm — through the\n\
+         \x20        seam's strategy-blind invariants (54 cells; --ci is\n\
+         \x20        the same deterministic profile)\n\
          analyze  rerun the sweep schedules, a 4-client YCSB-A trace, the\n\
          \x20        rt cells, and an elastic slice under the happens-before\n\
          \x20        race detector, plus the detector self-tests and lints\n\
@@ -171,6 +178,29 @@ fn main() {
                     println!(
                         "[{ran:>4}] {status:<9} {} (col {}, {} ms, {} ops committed, verb-kill={}, aborted={})",
                         o.cell, o.col, o.duration_ms, o.committed_ops, o.kill_fired_at_verb, o.aborted
+                    );
+                    for v in &o.violations {
+                        println!("    {v}");
+                    }
+                }
+            });
+            print!("{}", report.render());
+            std::process::exit(if report.clean() { 0 } else { 1 });
+        }
+        "backends" => {
+            // The backends axis is a fixed 54-cell deterministic matrix;
+            // --ci selects the identical profile (accepted so the tier-1
+            // command line reads uniformly across modes).
+            let _ = ci;
+            println!("chaos backends: 54 per-engine crash cells, seed {seed:#x}");
+            let mut ran = 0usize;
+            let report = run_backends_matrix(seed, |o| {
+                ran += 1;
+                if verbose || !o.ok() {
+                    let status = if o.ok() { "ok" } else { "VIOLATION" };
+                    println!(
+                        "[{ran:>4}] {status:<9} {} ({} ms, fired={}, written-off={}, recovered-cols={})",
+                        o.cell, o.duration_ms, o.fired_at_verb, o.written_off, o.recovered_cols
                     );
                     for v in &o.violations {
                         println!("    {v}");

@@ -1,0 +1,490 @@
+//! The pluggable fault-tolerance seam (`FtEngine` / `FtClient`).
+//!
+//! Aceso's central claim (paper §5, Table 3) is a *comparison*: hybrid
+//! checkpoint+erasure versus full replication on write round trips, memory
+//! overhead, and recovery time. To run that comparison live, the
+//! strategy-specific halves of the store — the write/commit path, the
+//! recovery path, and space accounting — are factored behind two
+//! object-safe traits:
+//!
+//! - [`FtEngine`] is the server side: launch/kill/recover columns, account
+//!   for space, verify strategy-specific integrity invariants.
+//! - [`FtClient`] is the per-client op surface: `insert`/`update`/`search`/
+//!   `delete` plus the fabric hooks (fault plans, op records) the chaos
+//!   matrix and bench harness need.
+//!
+//! Three engines implement the seam:
+//!
+//! | Engine | Crate | Strategy |
+//! |---|---|---|
+//! | `aceso` | this crate ([`AcesoEngine`]) | delta-append + XOR parity + tiered recovery |
+//! | `fusee` | `aceso-fusee` | replicated index + replicated KV blocks (FUSEE) |
+//! | `swarm` | `aceso-engines` | in-place replication, 1-RTT doorbell write path (SWARM) |
+//!
+//! The traits are deliberately narrow: they cover exactly what the
+//! three-way Table 3 bench (`bench table3`) and the per-backend crash
+//! matrix (`chaos backends`) exercise, not every capability of every
+//! engine. Engine-specific surfaces (Aceso's elastic membership, FUSEE's
+//! cache controls) stay on the concrete types.
+
+use crate::recovery::recover_cn;
+use crate::store::AcesoStore;
+use crate::{AcesoClient, AcesoConfig, ClientTuning, StoreError};
+use aceso_rdma::{Cluster, FaultPlan, NodeId, OpStats};
+use std::sync::Arc;
+
+/// Errors crossing the engine seam.
+///
+/// The chaos runner needs to distinguish "the client crashed mid-op under
+/// an injected fault" (expected — opens the commit ambiguity window) from
+/// "the home node is unreachable" (expected while a planned kill is
+/// outstanding) from a genuine protocol failure (a finding). Engine
+/// implementations map their native error types onto these three classes;
+/// `NotFound` is split out because UPDATE/DELETE of a missing key is an
+/// API-level outcome, not a fault.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FtError {
+    /// The client crashed mid-operation (injected crash point or injected
+    /// verb fault). Its effects may be torn; the op's outcome is ambiguous.
+    Crashed(String),
+    /// A memory node the operation needs is dead (or retries were
+    /// exhausted while it was). Expected while a planned kill is live.
+    Unreachable(String),
+    /// UPDATE or DELETE of a key that does not exist.
+    NotFound,
+    /// Any other failure (allocation, size envelope, harness errors…).
+    Other(String),
+}
+
+impl core::fmt::Display for FtError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            FtError::Crashed(e) => write!(f, "client crashed: {e}"),
+            FtError::Unreachable(e) => write!(f, "node unreachable: {e}"),
+            FtError::NotFound => write!(f, "key not found"),
+            FtError::Other(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for FtError {}
+
+impl From<StoreError> for FtError {
+    fn from(e: StoreError) -> Self {
+        use aceso_rdma::RdmaError;
+        match e {
+            StoreError::Shutdown => FtError::Crashed(e.to_string()),
+            StoreError::Rdma(RdmaError::Injected { .. }) => FtError::Crashed(e.to_string()),
+            StoreError::Rdma(RdmaError::NodeUnreachable(_)) => FtError::Unreachable(e.to_string()),
+            StoreError::RetriesExhausted => FtError::Unreachable(e.to_string()),
+            StoreError::NotFound => FtError::NotFound,
+            other => FtError::Other(other.to_string()),
+        }
+    }
+}
+
+/// Result type for the engine seam.
+pub type FtResult<T> = core::result::Result<T, FtError>;
+
+/// Strategy-agnostic space accounting (the Table 3 "memory overhead" row).
+///
+/// `valid` counts live user bytes once; `redundancy` is whatever the
+/// strategy adds to survive failures (XOR parity for Aceso, the extra
+/// `r-1` copies for replication); `delta` is log/delta space that exists
+/// only for the hybrid scheme. The headline metric is
+/// [`overhead_factor`](Self::overhead_factor).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct SpaceReport {
+    /// Bytes of live (referenced) user KV data, counted once.
+    pub valid: u64,
+    /// Bytes of fault-tolerance redundancy (parity or extra replicas).
+    pub redundancy: u64,
+    /// Bytes of delta/log space (zero for pure replication).
+    pub delta: u64,
+    /// Bytes of allocated primary data space (valid + obsolete + slack).
+    pub allocated: u64,
+}
+
+impl SpaceReport {
+    /// Total footprint the paper compares: valid + redundancy + delta.
+    pub fn total(&self) -> u64 {
+        self.valid + self.redundancy + self.delta
+    }
+
+    /// Memory overhead factor: total footprint per byte of valid data
+    /// (1.0 = no redundancy at all; replication with `r` copies ≈ `r`).
+    pub fn overhead_factor(&self) -> f64 {
+        if self.valid == 0 {
+            0.0
+        } else {
+            self.total() as f64 / self.valid as f64
+        }
+    }
+}
+
+/// What one column recovery cost, in strategy-agnostic terms.
+///
+/// Only *modeled* quantities appear here — bytes actually moved and the
+/// cost model's network milliseconds — so the summary is a pure function
+/// of the seed and safe to commit in results files.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct RecoverySummary {
+    /// Modeled network milliseconds to restore the column (deterministic).
+    pub net_ms: f64,
+    /// Bytes transferred during recovery (deterministic).
+    pub bytes: u64,
+    /// KV pairs scanned or re-replicated.
+    pub kvs: usize,
+}
+
+/// Per-client operation surface of one fault-tolerance engine.
+///
+/// Semantics shared by every implementation (asserted by the conformance
+/// suite in `aceso-engines`):
+///
+/// - `insert` is an upsert; `update`/`delete` of a missing key report
+///   [`FtError::NotFound`] / `Ok(false)` respectively.
+/// - `search` of a deleted or never-inserted key returns `Ok(None)` —
+///   engines whose delete leaves a tombstone normalize it away.
+/// - A client that returns [`FtError::Crashed`] is dead: the caller drops
+///   it and runs the engine's [`FtEngine::recover_client`].
+pub trait FtClient {
+    /// Inserts `key` → `value` (upsert: an existing key is overwritten).
+    fn insert(&mut self, key: &[u8], value: &[u8]) -> FtResult<()>;
+    /// Updates an existing key; [`FtError::NotFound`] if absent.
+    fn update(&mut self, key: &[u8], value: &[u8]) -> FtResult<()>;
+    /// Reads a key. `Ok(None)` = absent (including deleted).
+    fn search(&mut self, key: &[u8]) -> FtResult<Option<Vec<u8>>>;
+    /// Deletes a key; `Ok(false)` if it was absent.
+    fn delete(&mut self, key: &[u8]) -> FtResult<bool>;
+    /// Stable client id (used to revive a crashed client for recovery).
+    fn id(&self) -> u32;
+    /// Flushes any client-buffered state (bitmaps, open blocks) so
+    /// server-side accounting and integrity checks see the truth.
+    fn quiesce(&mut self) -> FtResult<()>;
+    /// Arms a fault plan on this client's fabric endpoint.
+    fn install_fault_plan(&mut self, plan: Arc<FaultPlan>);
+    /// Drains the per-op fabric records accumulated since the last call.
+    fn take_ops(&mut self) -> OpStats;
+    /// Clears fabric counters without returning them.
+    fn reset_stats(&mut self);
+}
+
+/// One fault-tolerance strategy, hosting a store and minting clients.
+///
+/// Object-safe: the bench and chaos harnesses drive `Box<dyn FtEngine>`
+/// so every strategy runs the identical script.
+///
+/// ```
+/// use aceso_core::engine::{AcesoEngine, FtEngine};
+/// use aceso_core::AcesoConfig;
+///
+/// let cfg = AcesoConfig { index_groups: 128, ..AcesoConfig::small() };
+/// let engine = AcesoEngine::launch(cfg).unwrap();
+/// let eng: &dyn FtEngine = &engine;
+///
+/// let mut client = eng.client().unwrap();
+/// client.insert(b"k", b"v1").unwrap();
+/// client.update(b"k", b"v2").unwrap();
+/// assert_eq!(client.search(b"k").unwrap().as_deref(), Some(&b"v2"[..]));
+///
+/// // Kill the key's home column, recover it, and the key survives.
+/// let col = eng.home_col(b"k");
+/// assert!(eng.kill_column(col));
+/// let summary = eng.recover_column(col).unwrap();
+/// assert!(summary.bytes > 0);
+/// assert_eq!(client.search(b"k").unwrap().as_deref(), Some(&b"v2"[..]));
+/// assert!(eng.check().unwrap().is_empty());
+/// # eng.shutdown();
+/// ```
+pub trait FtEngine {
+    /// Short stable name: `"aceso"`, `"fusee"`, or `"swarm"`.
+    fn kind(&self) -> &'static str;
+    /// Mints a fresh client.
+    fn client(&self) -> FtResult<Box<dyn FtClient>>;
+    /// Number of data columns (one per memory node at launch).
+    fn columns(&self) -> usize;
+    /// The node currently hosting `col` (kill rules target nodes).
+    fn node_of(&self, col: usize) -> NodeId;
+    /// Home column of a key (same `route_hash` for every engine, so the
+    /// crash matrix aims kills identically across backends).
+    fn home_col(&self, key: &[u8]) -> usize {
+        (aceso_index::route_hash(key) % self.columns() as u64) as usize
+    }
+    /// Fail-stops the node hosting `col`. `false` if it was already dead.
+    fn kill_column(&self, col: usize) -> bool;
+    /// Restores `col` onto a replacement node and returns the modeled cost.
+    fn recover_column(&self, col: usize) -> FtResult<RecoverySummary>;
+    /// Recovers after a client crash (rolls back torn commits, reconciles
+    /// divergent replicas — whatever the strategy requires).
+    fn recover_client(&self, id: u32) -> FtResult<()>;
+    /// Strategy-specific integrity check; returns violations (empty =
+    /// clean). Aceso scrubs parity equations and delta pairs; replication
+    /// engines check replica agreement.
+    fn check(&self) -> FtResult<Vec<String>>;
+    /// Periodic maintenance (Aceso's checkpoint round; no-op elsewhere).
+    fn tick(&self) -> FtResult<()> {
+        Ok(())
+    }
+    /// Space accounting for the memory-overhead comparison.
+    fn space(&self) -> SpaceReport;
+    /// The simulated fabric (trace sinks, barriers) backing this engine.
+    fn cluster(&self) -> &Arc<Cluster>;
+    /// Releases background threads. Idempotent.
+    fn shutdown(&self);
+}
+
+// ---------------------------------------------------------------------------
+// Aceso's own implementation of the seam.
+// ---------------------------------------------------------------------------
+
+/// [`FtEngine`] implementation for Aceso's hybrid checkpoint+erasure
+/// scheme — a thin adapter over [`AcesoStore`].
+pub struct AcesoEngine {
+    store: Arc<AcesoStore>,
+    tuning: Option<ClientTuning>,
+}
+
+impl AcesoEngine {
+    /// Launches a store with `cfg` and wraps it in the engine seam.
+    pub fn launch(cfg: AcesoConfig) -> FtResult<Self> {
+        let store = AcesoStore::launch(cfg).map_err(FtError::from)?;
+        Ok(AcesoEngine {
+            store,
+            tuning: None,
+        })
+    }
+
+    /// Wraps an already-launched store.
+    pub fn new(store: Arc<AcesoStore>) -> Self {
+        AcesoEngine {
+            store,
+            tuning: None,
+        }
+    }
+
+    /// Wraps a store and mints every client with `tuning` (fault harnesses
+    /// use fail-fast retry budgets so a blocked op costs milliseconds).
+    pub fn with_tuning(store: Arc<AcesoStore>, tuning: ClientTuning) -> Self {
+        AcesoEngine {
+            store,
+            tuning: Some(tuning),
+        }
+    }
+
+    /// The wrapped store, for Aceso-specific surfaces the seam omits.
+    pub fn store(&self) -> &Arc<AcesoStore> {
+        &self.store
+    }
+}
+
+/// [`FtClient`] adapter over [`AcesoClient`].
+struct AcesoFtClient {
+    inner: AcesoClient,
+}
+
+impl FtClient for AcesoFtClient {
+    fn insert(&mut self, key: &[u8], value: &[u8]) -> FtResult<()> {
+        self.inner.insert(key, value).map_err(FtError::from)
+    }
+
+    fn update(&mut self, key: &[u8], value: &[u8]) -> FtResult<()> {
+        self.inner.update(key, value).map_err(FtError::from)
+    }
+
+    fn search(&mut self, key: &[u8]) -> FtResult<Option<Vec<u8>>> {
+        self.inner.search(key).map_err(FtError::from)
+    }
+
+    fn delete(&mut self, key: &[u8]) -> FtResult<bool> {
+        self.inner.delete(key).map_err(FtError::from)
+    }
+
+    fn id(&self) -> u32 {
+        self.inner.id()
+    }
+
+    fn quiesce(&mut self) -> FtResult<()> {
+        self.inner.flush_bitmaps().map_err(FtError::from)
+    }
+
+    fn install_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.inner.dm.install_fault_plan(plan);
+    }
+
+    fn take_ops(&mut self) -> OpStats {
+        self.inner.dm.take_ops()
+    }
+
+    fn reset_stats(&mut self) {
+        self.inner.dm.reset_stats();
+    }
+}
+
+impl FtEngine for AcesoEngine {
+    fn kind(&self) -> &'static str {
+        "aceso"
+    }
+
+    fn client(&self) -> FtResult<Box<dyn FtClient>> {
+        let inner = match self.tuning {
+            Some(t) => self.store.client_with(t),
+            None => self.store.client(),
+        }
+        .map_err(FtError::from)?;
+        Ok(Box::new(AcesoFtClient { inner }))
+    }
+
+    fn columns(&self) -> usize {
+        self.store.cfg.num_mns
+    }
+
+    fn node_of(&self, col: usize) -> NodeId {
+        self.store.directory().node_of(col)
+    }
+
+    fn kill_column(&self, col: usize) -> bool {
+        self.store.kill_mn(col)
+    }
+
+    fn recover_column(&self, col: usize) -> FtResult<RecoverySummary> {
+        let r = crate::recovery::recover_mn(&self.store, col).map_err(FtError::from)?;
+        Ok(RecoverySummary {
+            net_ms: r.index_tier_net_ms() + r.old_lblock_net_ms + r.parity_net_ms,
+            bytes: r.meta_bytes
+                + r.ckpt_bytes
+                + r.lblock_net_bytes
+                + r.rblock_net_bytes
+                + r.parity_net_bytes,
+            kvs: r.kv_count,
+        })
+    }
+
+    fn recover_client(&self, id: u32) -> FtResult<()> {
+        let mut revived = self.store.client_with_id(id);
+        recover_cn(&self.store, &mut revived).map_err(FtError::from)?;
+        Ok(())
+    }
+
+    fn check(&self) -> FtResult<Vec<String>> {
+        let report = crate::scrub::scrub(&self.store).map_err(FtError::from)?;
+        if report.is_clean() {
+            Ok(Vec::new())
+        } else {
+            Ok(vec![format!("scrub dirty: {report:?}")])
+        }
+    }
+
+    fn tick(&self) -> FtResult<()> {
+        self.store.checkpoint_tick().map_err(FtError::from)?;
+        Ok(())
+    }
+
+    fn space(&self) -> SpaceReport {
+        let u = self.store.memory_usage();
+        SpaceReport {
+            valid: u.valid,
+            redundancy: u.redundancy,
+            delta: u.delta,
+            allocated: u.data_allocated,
+        }
+    }
+
+    fn cluster(&self) -> &Arc<Cluster> {
+        &self.store.cluster
+    }
+
+    fn shutdown(&self) {
+        self.store.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_engine() -> AcesoEngine {
+        let cfg = AcesoConfig {
+            index_groups: 128,
+            ..AcesoConfig::small()
+        };
+        AcesoEngine::launch(cfg).unwrap()
+    }
+
+    #[test]
+    fn trait_object_round_trip() {
+        let engine = small_engine();
+        let eng: &dyn FtEngine = &engine;
+        assert_eq!(eng.kind(), "aceso");
+        let mut c = eng.client().unwrap();
+        c.insert(b"alpha", b"one").unwrap();
+        assert_eq!(c.search(b"alpha").unwrap().as_deref(), Some(&b"one"[..]));
+        assert!(c.delete(b"alpha").unwrap());
+        assert_eq!(c.search(b"alpha").unwrap(), None);
+        assert!(!c.delete(b"alpha").unwrap());
+        assert_eq!(c.update(b"alpha", b"x").unwrap_err(), FtError::NotFound);
+        eng.shutdown();
+    }
+
+    #[test]
+    fn kill_and_recover_through_seam() {
+        let engine = small_engine();
+        let eng: &dyn FtEngine = &engine;
+        let mut c = eng.client().unwrap();
+        for i in 0..16 {
+            let k = format!("seam-{i:02}");
+            c.insert(k.as_bytes(), format!("v{i}").as_bytes()).unwrap();
+        }
+        c.quiesce().unwrap();
+        eng.tick().unwrap();
+        let col = eng.home_col(b"seam-03");
+        assert!(eng.kill_column(col));
+        assert!(!eng.kill_column(col), "second kill must report dead");
+        let s = eng.recover_column(col).unwrap();
+        assert!(s.bytes > 0 && s.net_ms > 0.0);
+        for i in 0..16 {
+            let k = format!("seam-{i:02}");
+            assert_eq!(
+                c.search(k.as_bytes()).unwrap().as_deref(),
+                Some(format!("v{i}").as_bytes()),
+                "{k} lost after recovery"
+            );
+        }
+        assert!(eng.check().unwrap().is_empty());
+        eng.shutdown();
+    }
+
+    #[test]
+    fn space_report_shapes() {
+        let engine = small_engine();
+        let eng: &dyn FtEngine = &engine;
+        let mut c = eng.client().unwrap();
+        for i in 0..32 {
+            c.insert(format!("sp-{i:03}").as_bytes(), &[7u8; 64]).unwrap();
+        }
+        c.quiesce().unwrap();
+        let sp = eng.space();
+        assert!(sp.valid > 0);
+        assert!(sp.redundancy > 0, "X-Code parity must be accounted");
+        assert!(sp.overhead_factor() > 1.0);
+        assert_eq!(sp.total(), sp.valid + sp.redundancy + sp.delta);
+        eng.shutdown();
+    }
+
+    #[test]
+    fn error_classes_map() {
+        assert_eq!(FtError::from(StoreError::NotFound), FtError::NotFound);
+        assert!(matches!(
+            FtError::from(StoreError::Shutdown),
+            FtError::Crashed(_)
+        ));
+        assert!(matches!(
+            FtError::from(StoreError::RetriesExhausted),
+            FtError::Unreachable(_)
+        ));
+        assert!(matches!(
+            FtError::from(StoreError::OutOfBlocks),
+            FtError::Other(_)
+        ));
+    }
+}

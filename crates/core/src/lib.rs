@@ -20,6 +20,7 @@
 //! | client↔server RPC protocol | [`proto`] |
 //! | top-level orchestration (launch, kill, recover) | [`store`] |
 //! | elastic membership (online MN add/drain) | [`placement`], [`elastic`] |
+//! | §5 Table 3 strategy comparison seam | [`engine`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -28,6 +29,7 @@ pub mod ckpt;
 pub mod client;
 pub mod config;
 pub mod elastic;
+pub mod engine;
 pub mod kv;
 pub mod placement;
 pub mod proto;
@@ -39,6 +41,7 @@ pub mod store;
 pub use client::{AcesoClient, ModelMutation};
 pub use config::{AcesoConfig, ClientTuning, MemoryMap};
 pub use elastic::{ElasticReport, ElasticStep, Migration};
+pub use engine::{AcesoEngine, FtClient, FtEngine, FtError, FtResult, RecoverySummary, SpaceReport};
 pub use placement::{ElasticKind, MigrationView, PlacementMap, PlacementSnapshot};
 pub use recovery::{
     recover_cn, recover_mixed, recover_mn, recover_mn_with, CnRecoveryReport, RecoveryReport,

@@ -1,0 +1,434 @@
+//! Pluggable fault-tolerance engines behind the `aceso-core` seam.
+//!
+//! Aceso's headline comparison (paper §5, Table 3) pits its hybrid
+//! checkpoint+erasure scheme against full replication. This crate supplies
+//! the replication side of that comparison as first-class [`FtEngine`]
+//! implementations, so the bench harness (`bench table3`) and the
+//! per-backend crash matrix (`chaos backends`) can drive all strategies
+//! through one object-safe surface:
+//!
+//! | Kind | Engine | Strategy |
+//! |---|---|---|
+//! | [`EngineKind::Aceso`] | `aceso_core::AcesoEngine` | delta-append + XOR parity + tiered recovery |
+//! | [`EngineKind::Fusee`] | [`FuseeEngine`] | FUSEE: replicated index + replicated KV blocks |
+//! | [`EngineKind::Swarm`] | [`SwarmEngine`] | SWARM-style in-place replication, 1-RTT writes ([`swarm`]) |
+//!
+//! The [`launch`] factory builds any of the three at matched laptop-scale
+//! geometry (5 memory nodes; replication factor 3 against Aceso's
+//! two-parity X-Code stripes, i.e. equal two-failure tolerance), which is
+//! what the conformance suite and the chaos backend matrix run against.
+//!
+//! ```
+//! use aceso_engines::{launch, EngineKind};
+//!
+//! let eng = launch(EngineKind::Swarm).unwrap();
+//! let mut c = eng.client().unwrap();
+//! c.insert(b"k", b"v").unwrap();
+//! assert_eq!(c.search(b"k").unwrap().as_deref(), Some(&b"v"[..]));
+//! let col = eng.home_col(b"k");
+//! assert!(eng.kill_column(col));
+//! eng.recover_column(col).unwrap();
+//! assert_eq!(c.search(b"k").unwrap().as_deref(), Some(&b"v"[..]));
+//! assert!(eng.check().unwrap().is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod swarm;
+
+use aceso_core::{
+    AcesoConfig, AcesoEngine, FtClient, FtEngine, FtError, FtResult, RecoverySummary, SpaceReport,
+};
+use aceso_fusee::{FuseeClient, FuseeConfig, FuseeError, FuseeStore};
+use aceso_rdma::{Cluster, FaultPlan, NodeId, OpStats, RdmaError};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use swarm::{SwarmClient, SwarmConfig, SwarmError, SwarmStore};
+
+/// The three strategies behind the seam.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Aceso's hybrid checkpoint + erasure scheme.
+    Aceso,
+    /// FUSEE-style full replication (replicated index, replicated KV).
+    Fusee,
+    /// SWARM-style in-place replication with the 1-RTT write path.
+    Swarm,
+}
+
+impl EngineKind {
+    /// All kinds, in Table 3 row order.
+    pub const ALL: [EngineKind; 3] = [EngineKind::Aceso, EngineKind::Fusee, EngineKind::Swarm];
+
+    /// The stable CLI name (`aceso` / `fusee` / `swarm`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EngineKind::Aceso => "aceso",
+            EngineKind::Fusee => "fusee",
+            EngineKind::Swarm => "swarm",
+        }
+    }
+}
+
+impl core::str::FromStr for EngineKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, String> {
+        match s {
+            "aceso" => Ok(EngineKind::Aceso),
+            "fusee" => Ok(EngineKind::Fusee),
+            "swarm" => Ok(EngineKind::Swarm),
+            other => Err(format!("unknown engine '{other}' (aceso|fusee|swarm)")),
+        }
+    }
+}
+
+impl core::fmt::Display for EngineKind {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Launches an engine of the given kind at matched laptop-scale geometry:
+/// 5 memory nodes everywhere, replication factor 3 for the replication
+/// engines (equal two-failure tolerance with Aceso's two-parity X-Code).
+pub fn launch(kind: EngineKind) -> FtResult<Box<dyn FtEngine>> {
+    match kind {
+        EngineKind::Aceso => {
+            let cfg = AcesoConfig {
+                index_groups: 128,
+                ..AcesoConfig::small()
+            };
+            Ok(Box::new(AcesoEngine::launch(cfg)?))
+        }
+        EngineKind::Fusee => {
+            let cfg = FuseeConfig {
+                index_groups: 128,
+                ..FuseeConfig::small()
+            };
+            Ok(Box::new(FuseeEngine::launch(cfg)))
+        }
+        EngineKind::Swarm => {
+            let cfg = SwarmConfig {
+                index_groups: 128,
+                ..SwarmConfig::small()
+            };
+            Ok(Box::new(SwarmEngine::launch(cfg)))
+        }
+    }
+}
+
+fn map_fusee(e: FuseeError) -> FtError {
+    match e {
+        FuseeError::Rdma(RdmaError::Injected { .. }) => FtError::Crashed(format!("{e:?}")),
+        FuseeError::Rdma(RdmaError::NodeUnreachable(_)) => FtError::Unreachable(format!("{e:?}")),
+        FuseeError::RetriesExhausted => FtError::Unreachable(format!("{e:?}")),
+        FuseeError::NotFound => FtError::NotFound,
+        other => FtError::Other(format!("{other:?}")),
+    }
+}
+
+fn map_swarm(e: SwarmError) -> FtError {
+    match e {
+        SwarmError::Rdma(RdmaError::Injected { .. }) => FtError::Crashed(format!("{e:?}")),
+        SwarmError::Rdma(RdmaError::NodeUnreachable(_)) => FtError::Unreachable(format!("{e:?}")),
+        SwarmError::RetriesExhausted => FtError::Unreachable(format!("{e:?}")),
+        SwarmError::NotFound => FtError::NotFound,
+        other => FtError::Other(format!("{other:?}")),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// FUSEE behind the seam.
+// ---------------------------------------------------------------------------
+
+/// [`FtEngine`] adapter over the FUSEE baseline store.
+///
+/// Client-crash recovery maps to [`FuseeStore::reconcile_replicas`]: the
+/// partition primary is the commit point, so reconciliation rolls
+/// run-ahead backups back and restores CAS liveness for later writers.
+pub struct FuseeEngine {
+    store: Arc<FuseeStore>,
+    next_client: AtomicU32,
+}
+
+impl FuseeEngine {
+    /// Launches a FUSEE store with `cfg` behind the seam.
+    pub fn launch(cfg: FuseeConfig) -> Self {
+        FuseeEngine {
+            store: FuseeStore::launch(cfg),
+            next_client: AtomicU32::new(0),
+        }
+    }
+
+    /// The wrapped store, for FUSEE-specific surfaces the seam omits.
+    pub fn store(&self) -> &Arc<FuseeStore> {
+        &self.store
+    }
+}
+
+struct FuseeFtClient {
+    inner: FuseeClient,
+    id: u32,
+}
+
+impl FtClient for FuseeFtClient {
+    fn insert(&mut self, key: &[u8], value: &[u8]) -> FtResult<()> {
+        self.inner.insert(key, value).map_err(map_fusee)
+    }
+
+    fn update(&mut self, key: &[u8], value: &[u8]) -> FtResult<()> {
+        self.inner.update(key, value).map_err(map_fusee)
+    }
+
+    fn search(&mut self, key: &[u8]) -> FtResult<Option<Vec<u8>>> {
+        self.inner.search(key).map_err(map_fusee)
+    }
+
+    fn delete(&mut self, key: &[u8]) -> FtResult<bool> {
+        self.inner.delete(key).map_err(map_fusee)
+    }
+
+    fn id(&self) -> u32 {
+        self.id
+    }
+
+    fn quiesce(&mut self) -> FtResult<()> {
+        Ok(()) // Replication has no client-buffered server state.
+    }
+
+    fn install_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.inner.dm.install_fault_plan(plan);
+    }
+
+    fn take_ops(&mut self) -> OpStats {
+        self.inner.dm.take_ops()
+    }
+
+    fn reset_stats(&mut self) {
+        self.inner.dm.reset_stats();
+    }
+}
+
+impl FtEngine for FuseeEngine {
+    fn kind(&self) -> &'static str {
+        "fusee"
+    }
+
+    fn client(&self) -> FtResult<Box<dyn FtClient>> {
+        Ok(Box::new(FuseeFtClient {
+            inner: self.store.client(),
+            id: self.next_client.fetch_add(1, Ordering::Relaxed),
+        }))
+    }
+
+    fn columns(&self) -> usize {
+        self.store.cfg.num_mns
+    }
+
+    fn node_of(&self, col: usize) -> NodeId {
+        self.store.node_of(col)
+    }
+
+    fn kill_column(&self, col: usize) -> bool {
+        self.store.kill_mn(col)
+    }
+
+    fn recover_column(&self, col: usize) -> FtResult<RecoverySummary> {
+        let r = self.store.recover_mn(col).map_err(map_fusee)?;
+        Ok(RecoverySummary {
+            net_ms: r.net_ms,
+            bytes: r.index_bytes + r.block_bytes,
+            kvs: r.slots,
+        })
+    }
+
+    fn recover_client(&self, _id: u32) -> FtResult<()> {
+        self.store.reconcile_replicas().map_err(map_fusee)?;
+        Ok(())
+    }
+
+    fn check(&self) -> FtResult<Vec<String>> {
+        Ok(self.store.replica_agreement())
+    }
+
+    fn space(&self) -> SpaceReport {
+        let u = self.store.memory_usage();
+        SpaceReport {
+            valid: u.valid,
+            redundancy: u.redundancy,
+            delta: 0,
+            allocated: u.allocated,
+        }
+    }
+
+    fn cluster(&self) -> &Arc<Cluster> {
+        &self.store.cluster
+    }
+
+    fn shutdown(&self) {
+        // No background threads.
+    }
+}
+
+// ---------------------------------------------------------------------------
+// SWARM behind the seam.
+// ---------------------------------------------------------------------------
+
+/// [`FtEngine`] adapter over the SWARM-style store ([`swarm`]).
+///
+/// Client-crash recovery maps to [`SwarmStore::reconcile`]: torn cells
+/// converge on the highest committed image and never-committed index slots
+/// are rolled back.
+pub struct SwarmEngine {
+    store: Arc<SwarmStore>,
+    next_client: AtomicU32,
+}
+
+impl SwarmEngine {
+    /// Launches a SWARM store with `cfg` behind the seam.
+    pub fn launch(cfg: SwarmConfig) -> Self {
+        SwarmEngine {
+            store: SwarmStore::launch(cfg),
+            next_client: AtomicU32::new(0),
+        }
+    }
+
+    /// The wrapped store, for SWARM-specific surfaces the seam omits.
+    pub fn store(&self) -> &Arc<SwarmStore> {
+        &self.store
+    }
+}
+
+struct SwarmFtClient {
+    inner: SwarmClient,
+    id: u32,
+}
+
+impl FtClient for SwarmFtClient {
+    fn insert(&mut self, key: &[u8], value: &[u8]) -> FtResult<()> {
+        self.inner.insert(key, value).map_err(map_swarm)
+    }
+
+    fn update(&mut self, key: &[u8], value: &[u8]) -> FtResult<()> {
+        self.inner.update(key, value).map_err(map_swarm)
+    }
+
+    fn search(&mut self, key: &[u8]) -> FtResult<Option<Vec<u8>>> {
+        self.inner.search(key).map_err(map_swarm)
+    }
+
+    fn delete(&mut self, key: &[u8]) -> FtResult<bool> {
+        self.inner.delete(key).map_err(map_swarm)
+    }
+
+    fn id(&self) -> u32 {
+        self.id
+    }
+
+    fn quiesce(&mut self) -> FtResult<()> {
+        Ok(())
+    }
+
+    fn install_fault_plan(&mut self, plan: Arc<FaultPlan>) {
+        self.inner.dm.install_fault_plan(plan);
+    }
+
+    fn take_ops(&mut self) -> OpStats {
+        self.inner.dm.take_ops()
+    }
+
+    fn reset_stats(&mut self) {
+        self.inner.dm.reset_stats();
+    }
+}
+
+impl FtEngine for SwarmEngine {
+    fn kind(&self) -> &'static str {
+        "swarm"
+    }
+
+    fn client(&self) -> FtResult<Box<dyn FtClient>> {
+        Ok(Box::new(SwarmFtClient {
+            inner: self.store.client(),
+            id: self.next_client.fetch_add(1, Ordering::Relaxed),
+        }))
+    }
+
+    fn columns(&self) -> usize {
+        self.store.cfg.num_mns
+    }
+
+    fn node_of(&self, col: usize) -> NodeId {
+        self.store.node_of(col)
+    }
+
+    fn kill_column(&self, col: usize) -> bool {
+        self.store.kill_mn(col)
+    }
+
+    fn recover_column(&self, col: usize) -> FtResult<RecoverySummary> {
+        let r = self.store.recover_mn(col).map_err(map_swarm)?;
+        Ok(RecoverySummary {
+            net_ms: r.net_ms,
+            bytes: r.index_bytes + r.block_bytes,
+            kvs: r.slots,
+        })
+    }
+
+    fn recover_client(&self, _id: u32) -> FtResult<()> {
+        self.store.reconcile().map_err(map_swarm)?;
+        Ok(())
+    }
+
+    fn check(&self) -> FtResult<Vec<String>> {
+        Ok(self.store.replica_agreement())
+    }
+
+    fn space(&self) -> SpaceReport {
+        let u = self.store.memory_usage();
+        SpaceReport {
+            valid: u.valid,
+            redundancy: u.redundancy,
+            delta: 0,
+            allocated: u.allocated,
+        }
+    }
+
+    fn cluster(&self) -> &Arc<Cluster> {
+        &self.store.cluster
+    }
+
+    fn shutdown(&self) {
+        // No background threads.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_round_trips_through_names() {
+        for kind in EngineKind::ALL {
+            assert_eq!(kind.as_str().parse::<EngineKind>().unwrap(), kind);
+            assert_eq!(launch(kind).unwrap().kind(), kind.as_str());
+        }
+        assert!("raft".parse::<EngineKind>().is_err());
+    }
+
+    #[test]
+    fn error_classes_map_uniformly() {
+        assert_eq!(map_fusee(FuseeError::NotFound), FtError::NotFound);
+        assert_eq!(map_swarm(SwarmError::NotFound), FtError::NotFound);
+        assert!(matches!(
+            map_fusee(FuseeError::RetriesExhausted),
+            FtError::Unreachable(_)
+        ));
+        assert!(matches!(
+            map_swarm(SwarmError::OutOfBlocks),
+            FtError::Other(_)
+        ));
+    }
+}

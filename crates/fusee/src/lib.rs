@@ -18,15 +18,28 @@
 //! resolution is simplified to retry-from-scratch, which only makes the
 //! baseline cheaper per conflict, never more expensive — conservative for
 //! every comparison in Aceso's favour.
+//!
+//! Since the engine-seam refactor this baseline is a full peer, not just a
+//! bench prop: it survives MN failure ([`FuseeStore::kill_mn`] /
+//! [`FuseeStore::recover_mn`] re-replicate the lost column from the
+//! surviving copies), serves reads degraded while the primary is down
+//! (backup-replica SEARCH), repairs commits torn by a client crash
+//! ([`FuseeStore::reconcile_replicas`]), and accounts its memory so the
+//! three-way Table 3 comparison can report overhead factors
+//! ([`FuseeStore::memory_usage`]). The `aceso-engines` crate adapts it to
+//! the `aceso-core` engine seam (`FtEngine`) as the `fusee` backend.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub mod layout;
 
 use aceso_index::{fingerprint, route_hash};
-use aceso_rdma::{Cluster, ClusterConfig, CostModel, DmClient, GlobalAddr, OpKind, RdmaError};
+use aceso_rdma::{
+    Cluster, ClusterConfig, CostModel, DmClient, GlobalAddr, NodeId, OpKind, RdmaError,
+};
 use layout::{FuseeLayout, Slot8};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -43,6 +56,8 @@ pub enum FuseeError {
     OutOfBlocks,
     /// Retry budget exhausted.
     RetriesExhausted,
+    /// `recover_mn` called on a column whose node is still alive.
+    ColumnAlive,
 }
 
 impl From<RdmaError> for FuseeError {
@@ -90,9 +105,22 @@ impl FuseeConfig {
     }
 }
 
+/// One replicated block allocation: block `id` claimed on every column in
+/// `cols` (identical offsets, identical intended contents). Recovery walks
+/// these records to find a surviving copy of every block a dead column
+/// hosted — block ids are per-column streams, so without the record there
+/// is no way to know which columns mirror `(col, id)`.
+#[derive(Clone, Debug)]
+struct BlockSet {
+    id: u64,
+    cols: Vec<usize>,
+}
+
 struct CentralAlloc {
     /// Next free block per MN.
     next_block: Vec<u64>,
+    /// Every block set handed out, in allocation order.
+    sets: Vec<BlockSet>,
 }
 
 /// The baseline store: a cluster plus a coarse central block allocator
@@ -106,6 +134,9 @@ pub struct FuseeStore {
     /// Per-MN layout.
     pub layout: FuseeLayout,
     alloc: Mutex<CentralAlloc>,
+    /// Column → node directory. Columns outlive nodes: recovery replaces a
+    /// dead column's node with a fresh one and republishes the mapping here.
+    nodes: RwLock<Vec<NodeId>>,
 }
 
 impl FuseeStore {
@@ -127,10 +158,34 @@ impl FuseeStore {
             cluster,
             alloc: Mutex::new(CentralAlloc {
                 next_block: vec![0; cfg.num_mns],
+                sets: Vec::new(),
             }),
+            nodes: RwLock::new((0..cfg.num_mns).map(|c| NodeId(c as u16)).collect()),
             layout,
             cfg,
         })
+    }
+
+    /// The node currently hosting column `col`.
+    pub fn node_of(&self, col: usize) -> NodeId {
+        self.nodes.read()[col]
+    }
+
+    /// Whether column `col`'s node is alive.
+    pub fn col_alive(&self, col: usize) -> bool {
+        self.cluster.node(self.node_of(col)).is_ok()
+    }
+
+    /// Columns hosting index partition `p`'s replicas: primary (= `p`)
+    /// first, then the `r − 1` backups.
+    pub fn partition_cols(&self, p: usize) -> Vec<usize> {
+        let n = self.cfg.num_mns;
+        (0..self.cfg.replicas).map(|i| (p + i) % n).collect()
+    }
+
+    /// Fail-stops the node hosting `col`. Returns `false` if already dead.
+    pub fn kill_mn(&self, col: usize) -> bool {
+        self.cluster.kill_node(self.node_of(col))
     }
 
     /// Creates a client.
@@ -166,8 +221,241 @@ impl FuseeStore {
         for &c in cols {
             a.next_block[c] = id + 1;
         }
+        a.sets.push(BlockSet {
+            id,
+            cols: cols.to_vec(),
+        });
         Ok(id)
     }
+
+    /// Recovers column `col` onto a fresh node by re-replicating from the
+    /// surviving copies: every index partition area the column hosted is
+    /// copied from a live replica, every KV block is copied from a live
+    /// member of its recorded block set, and the column directory is
+    /// republished. The report's `net_ms` is *modeled* network time
+    /// (bytes over the cost model's bandwidth plus per-verb round trips),
+    /// so it is a pure function of the seed like Aceso's recovery columns.
+    pub fn recover_mn(self: &Arc<Self>, col: usize) -> Result<FuseeRecovery> {
+        if self.col_alive(col) {
+            return Err(FuseeError::ColumnAlive);
+        }
+        let replacement = self.cluster.add_node(self.layout.region_len());
+        let dm = self.cluster.background_client();
+        let mut rep = FuseeRecovery::default();
+        let area = self.layout.area_size() as usize;
+
+        // Index tier: copy each partition area this column replicated.
+        for p in 0..self.cfg.num_mns {
+            let hosting = self.partition_cols(p);
+            if !hosting.contains(&col) {
+                continue;
+            }
+            let src = *hosting
+                .iter()
+                .find(|&&c| c != col && self.col_alive(c))
+                .ok_or(FuseeError::Rdma(RdmaError::NodeUnreachable(
+                    self.node_of(col),
+                )))?;
+            let base = self.layout.area_base(p);
+            let bytes = dm.read_vec(GlobalAddr::new(self.node_of(src), base), area)?;
+            for w in bytes.chunks_exact(8) {
+                if !Slot8::from_raw(u64::from_le_bytes(w.try_into().unwrap())).is_empty() {
+                    rep.slots += 1;
+                }
+            }
+            dm.write(GlobalAddr::new(replacement.id, base), &bytes)?;
+            rep.index_bytes += 2 * area as u64;
+            rep.verbs += 2;
+        }
+
+        // Block tier: copy each block whose recorded set includes `col`.
+        let sets: Vec<BlockSet> = self.alloc.lock().sets.clone();
+        for set in sets.iter().filter(|s| s.cols.contains(&col)) {
+            let src = *set
+                .cols
+                .iter()
+                .find(|&&c| c != col && self.col_alive(c))
+                .ok_or(FuseeError::Rdma(RdmaError::NodeUnreachable(
+                    self.node_of(col),
+                )))?;
+            let off = self.layout.block_offset(set.id);
+            let bytes = dm.read_vec(
+                GlobalAddr::new(self.node_of(src), off),
+                self.cfg.block_size as usize,
+            )?;
+            dm.write(GlobalAddr::new(replacement.id, off), &bytes)?;
+            rep.block_bytes += 2 * self.cfg.block_size;
+            rep.blocks += 1;
+            rep.verbs += 2;
+        }
+
+        self.nodes.write()[col] = replacement.id;
+        rep.net_ms = (rep.index_bytes + rep.block_bytes) as f64 / self.cfg.cost.node_bw * 1e3
+            + rep.verbs as f64 * self.cfg.cost.rtt_us * 1e-3;
+        Ok(rep)
+    }
+
+    /// Repairs commits torn by a crashed client (§2.4's failure window in
+    /// our simplified conflict resolution): a writer that died after
+    /// CASing backup index slots but before the primary commit point
+    /// leaves the backups *ahead* of the primary, wedging every later
+    /// writer of that key. The primary is the commit point, so repair
+    /// rolls every live backup slot back to the primary's value. Returns
+    /// the number of slots rewritten.
+    pub fn reconcile_replicas(self: &Arc<Self>) -> Result<usize> {
+        let dm = self.cluster.background_client();
+        let area = self.layout.area_size() as usize;
+        let mut repaired = 0usize;
+        for p in 0..self.cfg.num_mns {
+            let hosting = self.partition_cols(p);
+            if !self.col_alive(hosting[0]) {
+                continue; // Needs recover_mn first; nothing to roll back to.
+            }
+            let base = self.layout.area_base(p);
+            let pbytes = dm.read_vec(GlobalAddr::new(self.node_of(hosting[0]), base), area)?;
+            for &b in hosting[1..].iter().filter(|&&c| self.col_alive(c)) {
+                let node = self.node_of(b);
+                let bbytes = dm.read_vec(GlobalAddr::new(node, base), area)?;
+                for (i, (pw, bw)) in pbytes
+                    .chunks_exact(8)
+                    .zip(bbytes.chunks_exact(8))
+                    .enumerate()
+                {
+                    if pw != bw {
+                        dm.write(GlobalAddr::new(node, base + i as u64 * 8), pw)?;
+                        repaired += 1;
+                    }
+                }
+            }
+        }
+        Ok(repaired)
+    }
+
+    /// Replica-agreement check (the baseline's analogue of Aceso's parity
+    /// scrub): at quiescence every live backup's index area must equal its
+    /// partition primary's, and every KV slot referenced by a live index
+    /// entry must hold byte-identical copies on every live replica column.
+    /// Forensic (direct region reads, no verbs). Returns violations.
+    pub fn replica_agreement(&self) -> Vec<String> {
+        let mut v = Vec::new();
+        let area = self.layout.area_size() as usize;
+        for p in 0..self.cfg.num_mns {
+            let hosting = self.partition_cols(p);
+            let live: Vec<usize> = hosting
+                .iter()
+                .copied()
+                .filter(|&c| self.col_alive(c))
+                .collect();
+            let Some(&first) = live.first() else { continue };
+            let read_area = |c: usize| {
+                self.cluster
+                    .node(self.node_of(c))
+                    .ok()
+                    .and_then(|n| n.region.read_vec(self.layout.area_base(p), area).ok())
+            };
+            let Some(pbytes) = read_area(first) else { continue };
+            for &c in &live[1..] {
+                if read_area(c).as_ref() != Some(&pbytes) {
+                    v.push(format!("partition {p}: index replica on col {c} diverges"));
+                }
+            }
+            // KV copies referenced from this partition's index.
+            for (i, w) in pbytes.chunks_exact(8).enumerate() {
+                let slot = Slot8::from_raw(u64::from_le_bytes(w.try_into().unwrap()));
+                if slot.is_empty() {
+                    continue;
+                }
+                let len = (slot.len_class().max(1) * 64) as usize;
+                let copy = |c: usize| {
+                    self.cluster
+                        .node(self.node_of(c))
+                        .ok()
+                        .and_then(|n| n.region.read_vec(slot.offset(), len).ok())
+                };
+                let Some(primary_kv) = copy(first) else { continue };
+                for &c in &live[1..] {
+                    if copy(c).as_ref() != Some(&primary_kv) {
+                        v.push(format!(
+                            "partition {p} slot {i}: KV copy on col {c} diverges at offset {:#x}",
+                            slot.offset()
+                        ));
+                    }
+                }
+            }
+        }
+        v
+    }
+
+    /// Space accounting for the Table 3 memory-overhead comparison.
+    ///
+    /// `valid` counts each live KV record once (header + key + value,
+    /// walked from the partition primaries); `redundancy` is the `r − 1`
+    /// extra copies replication keeps of those bytes; `allocated` is the
+    /// primary share of block space handed out (each block set claims one
+    /// primary block plus `r − 1` replica blocks). Forensic and
+    /// deterministic: direct region reads, no verbs.
+    pub fn memory_usage(&self) -> FuseeUsage {
+        let mut u = FuseeUsage::default();
+        let area = self.layout.area_size() as usize;
+        for p in 0..self.cfg.num_mns {
+            let Some(&col) = self
+                .partition_cols(p)
+                .iter()
+                .find(|&&c| self.col_alive(c))
+            else {
+                continue;
+            };
+            let Ok(node) = self.cluster.node(self.node_of(col)) else {
+                continue;
+            };
+            let Ok(bytes) = node.region.read_vec(self.layout.area_base(p), area) else {
+                continue;
+            };
+            for w in bytes.chunks_exact(8) {
+                let slot = Slot8::from_raw(u64::from_le_bytes(w.try_into().unwrap()));
+                if slot.is_empty() {
+                    continue;
+                }
+                let Ok(hdr) = node.region.read_vec(slot.offset(), KV_HDR) else {
+                    continue;
+                };
+                let total = u32::from_le_bytes(hdr[0..4].try_into().unwrap()) as u64;
+                u.valid += KV_HDR as u64 + total;
+            }
+        }
+        u.redundancy = u.valid * (self.cfg.replicas as u64 - 1);
+        u.allocated = self.alloc.lock().sets.len() as u64 * self.cfg.block_size;
+        u
+    }
+}
+
+/// What one column recovery moved (see [`FuseeStore::recover_mn`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FuseeRecovery {
+    /// Index-area bytes transferred (read from a live replica + written to
+    /// the replacement).
+    pub index_bytes: u64,
+    /// KV-block bytes transferred.
+    pub block_bytes: u64,
+    /// Blocks re-replicated.
+    pub blocks: usize,
+    /// Live index slots re-hosted.
+    pub slots: usize,
+    /// Copy verbs issued.
+    pub verbs: u64,
+    /// Modeled network milliseconds (deterministic).
+    pub net_ms: f64,
+}
+
+/// Space accounting snapshot (see [`FuseeStore::memory_usage`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct FuseeUsage {
+    /// Live KV bytes, counted once.
+    pub valid: u64,
+    /// Extra replica bytes kept for fault tolerance (`(r − 1) × valid`).
+    pub redundancy: u64,
+    /// Primary share of allocated block bytes.
+    pub allocated: u64,
 }
 
 #[derive(Clone, Copy)]
@@ -205,8 +493,8 @@ pub struct FuseeClient {
 const KV_HDR: usize = 8;
 
 impl FuseeClient {
-    fn node_of(&self, col: usize) -> aceso_rdma::NodeId {
-        aceso_rdma::NodeId(col as u16)
+    fn node_of(&self, col: usize) -> NodeId {
+        self.store.node_of(col)
     }
 
     fn encode_kv(key: &[u8], value: &[u8]) -> Vec<u8> {
@@ -264,7 +552,11 @@ impl FuseeClient {
         }
     }
 
-    /// SEARCH: cached KV read + bucket validation, or a full query.
+    /// SEARCH: cached KV read + bucket validation, or a full query. While
+    /// the primary column is dead (killed, not yet recovered) the read is
+    /// served *degraded* from the first live backup replica — the index
+    /// partition area and the KV copies live at identical offsets on every
+    /// replica column, so the backup answers the same scan.
     pub fn search(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         self.dm.begin_op();
         let r = self.search_inner(key);
@@ -276,6 +568,38 @@ impl FuseeClient {
     }
 
     fn search_inner(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        match self.search_primary(key) {
+            Err(FuseeError::Rdma(RdmaError::NodeUnreachable(_))) => self.search_degraded(key),
+            r => r,
+        }
+    }
+
+    /// Degraded SEARCH: walk the backup replicas in order and serve the
+    /// scan + KV read from the first one that answers.
+    fn search_degraded(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let cols = self.store.replica_cols(key);
+        let fp = fingerprint(key);
+        let layout = self.store.layout;
+        let mut last = FuseeError::Rdma(RdmaError::NodeUnreachable(self.node_of(cols[0])));
+        for &c in &cols[1..] {
+            let scan = match layout.scan(&self.dm, self.node_of(c), cols[0], key, fp) {
+                Ok(s) => s,
+                Err(e) => {
+                    last = e.into();
+                    continue;
+                }
+            };
+            for s in &scan.matches {
+                if let Some(v) = self.read_candidate(c, s.slot, key)? {
+                    return Ok(Some(v));
+                }
+            }
+            return Ok(None);
+        }
+        Err(last)
+    }
+
+    fn search_primary(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         let cols = self.store.replica_cols(key);
         let fp = fingerprint(key);
         let layout = self.store.layout;
@@ -294,7 +618,10 @@ impl FuseeClient {
                 });
                 let (kv, scan) = (kv?, scan?);
                 if scan.matches.iter().any(|s| s.slot.offset() == c.offset) {
-                    return Ok(Self::decode_kv(&kv, key).map(|v| v.to_vec()));
+                    // Tombstones (empty value) read as absent.
+                    return Ok(Self::decode_kv(&kv, key)
+                        .filter(|v| !v.is_empty())
+                        .map(|v| v.to_vec()));
                 }
                 self.cache.remove(key);
                 // Stale: chase the fresh slots.
@@ -322,6 +649,9 @@ impl FuseeClient {
             len as usize,
         )?;
         match Self::decode_kv(&buf, key) {
+            // A tombstone is the key's own slot, so no later candidate can
+            // match: report absent (and never cache it).
+            Some([]) => Ok(None),
             Some(v) => {
                 if self.use_cache {
                     self.cache.insert(
@@ -401,7 +731,12 @@ impl FuseeClient {
                     GlobalAddr::new(self.node_of(cols[0]), s.slot.offset()),
                     len as usize,
                 )?;
-                if Self::decode_kv(&buf, key).is_some() {
+                if let Some(v) = Self::decode_kv(&buf, key) {
+                    // A tombstone's slot is reused for the CAS, but the key
+                    // is logically absent: UPDATE (and DELETE) of it fail.
+                    if v.is_empty() && !allow_insert {
+                        return Err(FuseeError::NotFound);
+                    }
                     existing = Some(*s);
                     break;
                 }
@@ -494,8 +829,13 @@ mod tests {
         c.update(b"k1", b"v2").unwrap();
         assert_eq!(c.search(b"k1").unwrap().as_deref(), Some(&b"v2"[..]));
         assert!(c.delete(b"k1").unwrap());
-        // Tombstone record: present with an empty value.
-        assert_eq!(c.search(b"k1").unwrap().as_deref(), Some(&b""[..]));
+        // The tombstone record reads as absent.
+        assert_eq!(c.search(b"k1").unwrap(), None);
+        assert!(!c.delete(b"k1").unwrap(), "second delete is a no-op");
+        assert_eq!(c.update(b"k1", b"x"), Err(FuseeError::NotFound));
+        // Re-insert over the tombstone.
+        c.insert(b"k1", b"v3").unwrap();
+        assert_eq!(c.search(b"k1").unwrap().as_deref(), Some(&b"v3"[..]));
     }
 
     #[test]
@@ -592,6 +932,138 @@ mod tests {
                 Some(k.as_bytes())
             );
         }
+    }
+
+    #[test]
+    fn degraded_search_served_by_backup() {
+        let s = store();
+        let mut c = s.client();
+        for i in 0..40u32 {
+            let k = format!("deg-{i:03}");
+            c.insert(k.as_bytes(), k.as_bytes()).unwrap();
+        }
+        // Kill one column; keys homed there must still read back, served
+        // by a backup replica (cache-cold client to force the full path).
+        let victim = s.replica_cols(b"deg-000")[0];
+        assert!(s.kill_mn(victim));
+        let mut cold = s.client();
+        cold.use_cache = false;
+        for i in 0..40u32 {
+            let k = format!("deg-{i:03}");
+            assert_eq!(
+                cold.search(k.as_bytes()).unwrap().as_deref(),
+                Some(k.as_bytes()),
+                "{k} unreadable with col {victim} down"
+            );
+        }
+    }
+
+    #[test]
+    fn recover_mn_restores_column_on_fresh_node() {
+        let s = store();
+        let mut c = s.client();
+        for i in 0..200u32 {
+            let k = format!("rec-{i:03}");
+            c.insert(k.as_bytes(), format!("val-{i}").as_bytes()).unwrap();
+        }
+        let victim = s.replica_cols(b"rec-000")[0];
+        let old_node = s.node_of(victim);
+        assert!(s.kill_mn(victim));
+        let rep = s.recover_mn(victim).unwrap();
+        assert!(rep.blocks > 0 && rep.index_bytes > 0 && rep.net_ms > 0.0);
+        assert_ne!(s.node_of(victim), old_node, "directory must repoint");
+        // Everything reads back through the recovered column, writes work,
+        // and the replicas agree again.
+        let mut fresh = s.client();
+        for i in 0..200u32 {
+            let k = format!("rec-{i:03}");
+            assert_eq!(
+                fresh.search(k.as_bytes()).unwrap().as_deref(),
+                Some(format!("val-{i}").as_bytes()),
+                "{k} lost by recovery"
+            );
+        }
+        fresh.update(b"rec-000", b"post-recovery").unwrap();
+        assert_eq!(
+            fresh.search(b"rec-000").unwrap().as_deref(),
+            Some(&b"post-recovery"[..])
+        );
+        assert!(s.replica_agreement().is_empty());
+    }
+
+    #[test]
+    fn recover_live_column_is_refused() {
+        let s = store();
+        assert_eq!(s.recover_mn(0).unwrap_err(), FuseeError::ColumnAlive);
+    }
+
+    #[test]
+    fn reconcile_repairs_torn_commit() {
+        let s = store();
+        let mut c = s.client();
+        c.insert(b"torn-key", b"committed").unwrap();
+        // Simulate a writer that died between the backup CAS and the
+        // primary commit point: advance one backup's slot by hand.
+        let cols = s.replica_cols(b"torn-key");
+        let fp = fingerprint(b"torn-key");
+        let dm = s.cluster.client();
+        let scan = s
+            .layout
+            .scan(&dm, s.node_of(cols[0]), cols[0], b"torn-key", fp)
+            .unwrap();
+        let found = scan.matches[0];
+        let backup = s.cluster.node(s.node_of(cols[1])).unwrap();
+        let bogus = Slot8::new(fp, found.slot.offset(), found.slot.len_class() + 1);
+        backup
+            .region
+            .store64(found.pos.offset, bogus.raw())
+            .unwrap();
+        // A writer now wedges on the diverged backup slot…
+        let mut w = s.client();
+        w.max_retries = 8;
+        assert_eq!(
+            w.update(b"torn-key", b"stuck"),
+            Err(FuseeError::RetriesExhausted)
+        );
+        // …until reconciliation rolls the backup back to the primary.
+        assert!(s.reconcile_replicas().unwrap() > 0);
+        w.update(b"torn-key", b"unwedged").unwrap();
+        assert_eq!(
+            w.search(b"torn-key").unwrap().as_deref(),
+            Some(&b"unwedged"[..])
+        );
+        assert!(s.replica_agreement().is_empty());
+    }
+
+    #[test]
+    fn replica_agreement_flags_divergence() {
+        let s = store();
+        let mut c = s.client();
+        c.insert(b"agree-key", b"same-everywhere").unwrap();
+        assert!(s.replica_agreement().is_empty());
+        // Corrupt one KV copy on a backup column.
+        let cols = s.replica_cols(b"agree-key");
+        let cached = c.cache.get(&b"agree-key"[..]).copied().unwrap();
+        let backup = s.cluster.node(s.node_of(cols[1])).unwrap();
+        backup.region.write(cached.offset + 10, b"XX").unwrap();
+        let v = s.replica_agreement();
+        assert!(
+            v.iter().any(|m| m.contains("KV copy")),
+            "divergent copy not flagged: {v:?}"
+        );
+    }
+
+    #[test]
+    fn memory_usage_reports_replication_overhead() {
+        let s = store();
+        let mut c = s.client();
+        for i in 0..64u32 {
+            c.insert(format!("mem-{i:03}").as_bytes(), &[9u8; 100]).unwrap();
+        }
+        let u = s.memory_usage();
+        assert!(u.valid > 64 * 100);
+        assert_eq!(u.redundancy, u.valid * 2, "r=3 keeps 2 extra copies");
+        assert!(u.allocated > 0);
     }
 
     #[test]
