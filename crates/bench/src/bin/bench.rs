@@ -76,6 +76,7 @@ fn main() {
         Some("quick") => "BENCH_PR4.json".to_string(),
         Some("clients") => "results/clients.txt".to_string(),
         Some("elastic") => "results/elastic.txt".to_string(),
+        Some("skew") => "results/skew.txt".to_string(),
         Some("table3") => "results/table3.txt".to_string(),
         _ => usage(),
     };
@@ -112,6 +113,12 @@ fn main() {
             let slice = aceso_bench::elastic_slice(seed);
             print!("{}", slice.render());
             std::fs::write(&out, slice.render()).expect("write slice");
+            println!("wrote {out}");
+        }
+        Some("skew") => {
+            let sweep = aceso_bench::skew_sweep(seed);
+            print!("{}", sweep.render());
+            std::fs::write(&out, sweep.render()).expect("write sweep");
             println!("wrote {out}");
         }
         Some("table3") => {

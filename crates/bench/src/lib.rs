@@ -20,11 +20,13 @@ pub mod clients;
 pub mod elastic;
 pub mod figs;
 pub mod harness;
+pub mod skew;
 pub mod table3;
 
 pub use clients::{clients_sweep, ClientsSweep, SweepRow};
 pub use elastic::{elastic_slice, ElasticPhase, ElasticSlice};
 pub use harness::{BenchScale, Phase};
+pub use skew::{skew_sweep, SkewRow, SkewSweep};
 pub use table3::{table3_slice, Table3Row, Table3Slice};
 
 /// Formats a Mops number for tables.

@@ -26,19 +26,25 @@
 //!    protocols (write-then-CAS publication, doorbell-batched 1-RTT
 //!    commits) must order every cross-client handoff just as Aceso's do,
 //!    including across a torn write and its reconcile pass.
-//! 6. **Liveness + lints** — the mutation self-tests
+//! 6. **Cache-axis trace** — a slice of the stale-index-cache matrix
+//!    ([`crate::cache_axis`]) reruns under the detector: a node (or the
+//!    client) dies between cache fill and use, so the hot-cache fast
+//!    path's revalidating slot re-reads must be ordered against the
+//!    recovery stream that rebuilt the memory they land on.
+//! 7. **Liveness + lints** — the mutation self-tests
 //!    ([`aceso_san::selftest`]) prove each ordering edge is actually
 //!    checked (a weakened edge must produce a report), and the static
 //!    protocol lints ([`aceso_san::lint`]) check layout constants and
 //!    `CrashPoint` wiring.
 //!
-//! The run is clean only when all six stages are: zero races, zero
+//! The run is clean only when all seven stages are: zero races, zero
 //! detector violations, every self-test live, zero lint findings — and the
 //! traced cells still hold their invariants.
 
 use crate::backends_axis::{
     run_backends_cell_with_sink, BackendCell, BackendFault, BackendOp,
 };
+use crate::cache_axis::{run_cache_cell_with_sink, CacheCell, CacheKill, CacheOp};
 use crate::cell::Cell;
 use crate::elastic_axis::{run_elastic_cell_with_sink, ElasticBoundary, ElasticCell, ElasticKill};
 use crate::rt_axis::{run_rt_cell_with_sink, RtKill};
@@ -167,6 +173,31 @@ impl BackendsTrace {
     }
 }
 
+/// Detector findings for one traced cache-axis cell (a node or client
+/// dies between cache fill and use).
+#[derive(Clone, Debug)]
+pub struct CacheTrace {
+    /// The cell that ran.
+    pub cell: CacheCell,
+    /// Cache entries the sweep client held when the kill landed.
+    pub warm_entries: usize,
+    /// Events the detector processed.
+    pub events: u64,
+    /// Rendered races the detector reported.
+    pub races: Vec<String>,
+    /// Detector violations (misaligned atomics seen in the trace).
+    pub detector_violations: Vec<String>,
+    /// Invariant violations from the cell run itself.
+    pub cell_violations: Vec<String>,
+}
+
+impl CacheTrace {
+    /// `true` when the cell raced nowhere and held its invariants.
+    pub fn ok(&self) -> bool {
+        self.races.is_empty() && self.detector_violations.is_empty() && self.cell_violations.is_empty()
+    }
+}
+
 /// Everything one `chaos analyze` run produced.
 #[derive(Clone, Debug)]
 pub struct AnalyzeReport {
@@ -182,6 +213,8 @@ pub struct AnalyzeReport {
     pub elastic: Vec<ElasticTrace>,
     /// The backends-axis trace findings (one per traced cell).
     pub backends: Vec<BackendsTrace>,
+    /// The cache-axis trace findings (one per traced cell).
+    pub cache: Vec<CacheTrace>,
     /// Mutation self-test outcomes (detector liveness proof).
     pub selftests: Vec<SelftestOutcome>,
     /// Static protocol lint findings.
@@ -197,6 +230,7 @@ impl AnalyzeReport {
             && self.rt.iter().all(RtTrace::ok)
             && self.elastic.iter().all(ElasticTrace::ok)
             && self.backends.iter().all(BackendsTrace::ok)
+            && self.cache.iter().all(CacheTrace::ok)
             && self.selftests.iter().all(SelftestOutcome::ok)
             && self.lint_violations.is_empty()
     }
@@ -286,6 +320,24 @@ impl AnalyzeReport {
             s.push_str(&format!(
                 "  backends {}: {} events, {} races\n",
                 t.cell,
+                t.events,
+                t.races.len()
+            ));
+            for r in &t.races {
+                s.push_str(&format!("    race: {r}\n"));
+            }
+            for v in &t.detector_violations {
+                s.push_str(&format!("    detector: {v}\n"));
+            }
+            for v in &t.cell_violations {
+                s.push_str(&format!("    invariant: {v}\n"));
+            }
+        }
+        for t in &self.cache {
+            s.push_str(&format!(
+                "  cache {}: {} warm entries at kill, {} events, {} races\n",
+                t.cell,
+                t.warm_entries,
                 t.events,
                 t.races.len()
             ));
@@ -582,7 +634,44 @@ pub fn analyze_backends(seed: u64) -> Vec<BackendsTrace> {
     .collect()
 }
 
-/// Runs all six stages.
+/// A representative slice of the cache axis, traced: the stale-cache
+/// SEARCH fast path, the stale-cache UPDATE speculation, and the hot-cache
+/// CN crash. The kill lands between cache fill and use, so the detector
+/// must order the sweeper's revalidating slot re-reads against the
+/// recovery stream that rebuilt (or repaired) the memory they land on.
+pub fn analyze_cache(seed: u64) -> Vec<CacheTrace> {
+    [
+        CacheCell {
+            kill: CacheKill::Mn,
+            op: CacheOp::Search,
+        },
+        CacheCell {
+            kill: CacheKill::Mn,
+            op: CacheOp::Update,
+        },
+        CacheCell {
+            kill: CacheKill::Cn,
+            op: CacheOp::Update,
+        },
+    ]
+    .into_iter()
+    .map(|cell| {
+        let det = Arc::new(Detector::with_annotator(annotator()));
+        let sink: Arc<dyn TraceSink> = det.clone();
+        let out = run_cache_cell_with_sink(&cell, seed, Some(sink));
+        CacheTrace {
+            cell,
+            warm_entries: out.warm_entries,
+            events: det.events(),
+            races: det.races().iter().map(|r| r.to_string()).collect(),
+            detector_violations: det.violations(),
+            cell_violations: out.violations,
+        }
+    })
+    .collect()
+}
+
+/// Runs all seven stages.
 pub fn analyze(
     cells: &[Cell],
     seed: u64,
@@ -593,6 +682,7 @@ pub fn analyze(
     let rt = analyze_rt(seed);
     let elastic = analyze_elastic(seed);
     let backends = analyze_backends(seed);
+    let cache = analyze_cache(seed);
     AnalyzeReport {
         seed,
         cells: cell_traces,
@@ -600,6 +690,7 @@ pub fn analyze(
         rt,
         elastic,
         backends,
+        cache,
         selftests: selftest::run_all(),
         lint_violations: lint::run_all(),
     }
@@ -689,6 +780,26 @@ mod tests {
                 t.cell_violations
             );
             assert!(t.events > 100, "backends {}: only {} events", t.cell, t.events);
+        }
+    }
+
+    /// The traced cache slice is race-free: the kill between cache fill
+    /// and use, the recovery stream, and the hot-cache revalidation reads
+    /// produce no unordered conflicting accesses, and every cell holds
+    /// the no-stale-read-after-recovery invariant.
+    #[test]
+    fn cache_traces_are_race_free() {
+        for t in analyze_cache(crate::DEFAULT_SEED) {
+            assert!(
+                t.ok(),
+                "cache {}: races {:?}, violations {:?}/{:?}",
+                t.cell,
+                t.races,
+                t.detector_violations,
+                t.cell_violations
+            );
+            assert!(t.events > 100, "cache {}: only {} events", t.cell, t.events);
+            assert!(t.warm_entries > 0, "cache {}: cache never warm", t.cell);
         }
     }
 

@@ -23,16 +23,22 @@
 //!   migration re-homes a column under live traffic and the joining MN,
 //!   the draining MN, or a CN dies at every migrator step boundary (see
 //!   [`elastic_axis`]).
+//! * `chaos cache [--ci]` — the stale-index-cache axis: the index column
+//!   of a cached key (or the client itself) dies *between cache fill and
+//!   use*, recovery re-homes the data, and a hot-cache client that slept
+//!   through the kill must read nothing stale afterwards (see
+//!   [`cache_axis`]). `chaos sweep --ci` appends this matrix.
 //! * `chaos backends [--ci]` — the per-engine axis: the same
 //!   (op × fault × skip) crash script runs against every
 //!   [`aceso_core::FtEngine`] implementation — Aceso, FUSEE-style full
 //!   replication, and the SWARM-style 1-RTT engine — through the seam's
 //!   strategy-blind invariants (see [`backends_axis`]).
 //! * `chaos analyze [--ci]` — reruns the sweep schedules, a
-//!   multi-client YCSB-A interleaving, the runtime-axis cells, and a
-//!   slice of the elastic axis under the [`aceso_san`] happens-before
-//!   race detector, then runs the detector's mutation self-tests and the
-//!   static protocol lints (see [`analyze`]).
+//!   multi-client YCSB-A interleaving, the runtime-axis cells, and
+//!   slices of the elastic, backends, and cache axes under the
+//!   [`aceso_san`] happens-before race detector, then runs the
+//!   detector's mutation self-tests and the static protocol lints (see
+//!   [`analyze`]).
 //! * `chaos explore [--ci]` — the bounded model-checking axis: the
 //!   [`aceso_model`] explorer enumerates every interleaving of 2–3
 //!   coroutine clients to a depth bound, crashes every scheduling point,
@@ -45,6 +51,7 @@
 
 pub mod analyze;
 pub mod backends_axis;
+pub mod cache_axis;
 pub mod cell;
 pub mod elastic_axis;
 pub mod explore;
@@ -52,10 +59,16 @@ pub mod rt_axis;
 pub mod runner;
 pub mod sweep;
 
-pub use analyze::{AnalyzeReport, BackendsTrace, CellTrace, ElasticTrace, RtTrace, YcsbTrace};
+pub use analyze::{
+    AnalyzeReport, BackendsTrace, CacheTrace, CellTrace, ElasticTrace, RtTrace, YcsbTrace,
+};
 pub use backends_axis::{
     backends_matrix, run_backends_cell, run_backends_cell_with_sink, run_backends_matrix,
     BackendCell, BackendFault, BackendOp, BackendOutcome, BackendsReportCli,
+};
+pub use cache_axis::{
+    cache_matrix, run_cache_cell, run_cache_cell_with_sink, run_cache_matrix, CacheCell,
+    CacheKill, CacheOp, CacheOutcome, CacheReportCli,
 };
 pub use explore::{run_explore, wgl_selftests, ExploreCliReport};
 pub use elastic_axis::{

@@ -5,6 +5,7 @@
 //! chaos soak    [--seed N] [--seconds N] [--verbose]
 //! chaos rt      [--seed N]
 //! chaos elastic [--ci] [--seed N] [--verbose]
+//! chaos cache   [--ci] [--seed N] [--verbose]
 //! chaos backends [--ci] [--seed N] [--verbose]
 //! chaos analyze [--ci] [--seed N] [--limit N] [--verbose]
 //! chaos explore [--ci] [--seed N] [--verbose]
@@ -17,9 +18,9 @@
 //! on any violation, 2 on usage errors.
 
 use aceso_chaos::{
-    analyze, ci_matrix, full_matrix, run_backends_matrix, run_cell, run_elastic_matrix,
-    run_explore, run_rt_cell, soak, sweep, Cell, CellOutcome, CellTrace, RtKill, SweepReport,
-    CI_CELLS, DEFAULT_SEED,
+    analyze, ci_matrix, full_matrix, run_backends_matrix, run_cache_matrix, run_cell,
+    run_elastic_matrix, run_explore, run_rt_cell, soak, sweep, Cell, CellOutcome, CellTrace,
+    RtKill, SweepReport, CI_CELLS, DEFAULT_SEED,
 };
 use std::time::Duration;
 
@@ -29,26 +30,33 @@ fn usage() -> ! {
                 chaos soak    [--seed N] [--seconds N] [--verbose]\n\
                 chaos rt      [--seed N]\n\
                 chaos elastic [--ci] [--seed N] [--verbose]\n\
+                chaos cache   [--ci] [--seed N] [--verbose]\n\
                 chaos backends [--ci] [--seed N] [--verbose]\n\
                 chaos analyze [--ci] [--seed N] [--limit N] [--verbose]\n\
                 chaos explore [--ci] [--seed N] [--verbose]\n\
                 chaos cell <op/site/kill/reclaim> [--seed N]\n\
          \n\
          sweep    run the crash matrix (full 600 cells; --ci = deterministic\n\
-         \x20        {CI_CELLS}-cell profile) and print a coverage report\n\
+         \x20        {CI_CELLS}-cell profile plus the cache axis) and print\n\
+         \x20        a coverage report\n\
          soak     run seeded random cells until --seconds elapse\n\
          rt       kill a memory node / crash a client while several\n\
          \x20        coroutine ops sit suspended on one executor thread\n\
          elastic  kill the joining MN, the draining MN, or a CN at every\n\
          \x20        migrator step boundary of an online column migration\n\
          \x20        (15 cells; --ci is the same deterministic profile)\n\
+         cache    kill the index column of a cached key (or crash the\n\
+         \x20        hot-cache client) between cache fill and use, recover,\n\
+         \x20        and demand no stale read through the surviving cache\n\
+         \x20        (5 cells; --ci is the same deterministic profile)\n\
          backends run the shared (op x fault x skip) crash script against\n\
          \x20        every FtEngine — aceso, fusee, swarm — through the\n\
          \x20        seam's strategy-blind invariants (54 cells; --ci is\n\
          \x20        the same deterministic profile)\n\
          analyze  rerun the sweep schedules, a 4-client YCSB-A trace, the\n\
-         \x20        rt cells, and an elastic slice under the happens-before\n\
-         \x20        race detector, plus the detector self-tests and lints\n\
+         \x20        rt cells, and elastic/backends/cache slices under the\n\
+         \x20        happens-before race detector, plus the detector\n\
+         \x20        self-tests and lints\n\
          explore  bounded model checking: enumerate every interleaving of\n\
          \x20        2-3 coroutine clients to a depth bound, crash every\n\
          \x20        scheduling point, and judge linearizability; mutation\n\
@@ -88,6 +96,23 @@ fn progress(verbose: bool) -> impl FnMut(&CellOutcome) {
             );
         } else if !o.ok() {
             println!("[{ran:>4}] VIOLATION {}", o.cell);
+        }
+    }
+}
+
+fn cache_progress(verbose: bool) -> impl FnMut(&aceso_chaos::CacheOutcome) {
+    let mut ran = 0usize;
+    move |o: &aceso_chaos::CacheOutcome| {
+        ran += 1;
+        if verbose || !o.ok() {
+            let status = if o.ok() { "ok" } else { "VIOLATION" };
+            println!(
+                "[{ran:>4}] {status:<9} {} (col {}, {} ms, {} warm entries, interrupted={})",
+                o.cell, o.col, o.duration_ms, o.warm_entries, o.interrupted
+            );
+            for v in &o.violations {
+                println!("    {v}");
+            }
         }
     }
 }
@@ -132,7 +157,18 @@ fn main() {
                 cells.truncate(l);
             }
             println!("chaos sweep: {} cells, seed {seed:#x}", cells.len());
-            sweep(&cells, seed, progress(verbose))
+            let report = sweep(&cells, seed, progress(verbose));
+            if !ci {
+                report
+            } else {
+                // The CI profile appends the stale-index-cache axis: its
+                // five fill-kill-recover-use cells ride the same tier-1
+                // invocation as the crash matrix.
+                print!("{}", report.render());
+                let cache = run_cache_matrix(seed, cache_progress(verbose));
+                print!("{}", cache.render());
+                std::process::exit(if report.clean() && cache.clean() { 0 } else { 1 });
+            }
         }
         "soak" => {
             println!("chaos soak: {seconds}s, seed {seed:#x}");
@@ -184,6 +220,16 @@ fn main() {
                     }
                 }
             });
+            print!("{}", report.render());
+            std::process::exit(if report.clean() { 0 } else { 1 });
+        }
+        "cache" => {
+            // The cache axis is a fixed 5-cell deterministic matrix; --ci
+            // selects the identical profile (accepted so the tier-1
+            // command line reads uniformly across modes).
+            let _ = ci;
+            println!("chaos cache: 5 stale-cache cells, seed {seed:#x}");
+            let report = run_cache_matrix(seed, cache_progress(verbose));
             print!("{}", report.render());
             std::process::exit(if report.clean() { 0 } else { 1 });
         }

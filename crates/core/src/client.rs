@@ -18,6 +18,7 @@
 //! A client is owned by one thread, mirroring one client coroutine of the
 //! paper's testbed.
 
+use crate::cache::{CacheEntry, IndexCache};
 use crate::config::{pack_col, unpack_col, ClientTuning, MemoryMap};
 use crate::kv::{self, INVALID_SLOT_VERSION, SLOT_VER_OFF};
 use crate::placement::{PlacementMap, PlacementSnapshot};
@@ -30,7 +31,7 @@ use aceso_index::slot::slot_version;
 use aceso_index::{fingerprint, route_hash, RemoteIndex, SlotAtomic, SlotMeta};
 use aceso_obs::{Counter, Histogram, Obs, Registry};
 use aceso_rdma::{Cluster, DmClient, GlobalAddr, NodeId, OpKind, OpRecord, RdmaError};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Protocol-step injection sites in the commit path (Algorithm 1).
@@ -134,14 +135,6 @@ struct OpenBlock {
     next: usize,
     deltas: [DeltaRef; 2],
     old_copy: Option<Vec<u8>>,
-}
-
-#[derive(Clone, Copy, Debug)]
-struct CacheEntry {
-    slot_addr: GlobalAddr,
-    atomic: SlotAtomic,
-    meta: SlotMeta,
-    tombstone: bool,
 }
 
 /// Pre-resolved metric handles for one operation kind. Resolved once at
@@ -284,7 +277,8 @@ pub struct AcesoClient {
     tuning: ClientTuning,
     bitmap_flush_every: usize,
     blocks: BTreeMap<u8, OpenBlock>,
-    cache: HashMap<Vec<u8>, CacheEntry>,
+    /// The bounded, hotness-aware index cache (see [`crate::cache`]).
+    cache: IndexCache,
     /// Invalidation writes for speculation-lost KVs, deferred so they can
     /// ride inside the next doorbell batch of the same operation instead
     /// of paying their own round trip. Always drained before the
@@ -330,6 +324,10 @@ impl AcesoClient {
         // at a *newer* epoch must reject this client until it refreshes
         // (the client's u64::MAX default would bypass every fence).
         dm.set_placement_epoch(pl.epoch);
+        let cache = IndexCache::new(
+            tuning.cache_capacity,
+            obs.registry().map(|r| r.as_ref()),
+        );
         AcesoClient {
             dm,
             cluster,
@@ -342,7 +340,7 @@ impl AcesoClient {
             tuning,
             bitmap_flush_every,
             blocks: BTreeMap::new(),
-            cache: HashMap::new(),
+            cache,
             pending_inval: Vec::new(),
             pending_bits: BTreeMap::new(),
             pending_count: 0,
@@ -362,9 +360,29 @@ impl AcesoClient {
     /// Adjusts feature switches (factor analysis).
     pub fn set_tuning(&mut self, tuning: ClientTuning) {
         self.tuning = tuning;
+        self.cache.set_capacity(tuning.cache_capacity);
         if !tuning.use_cache {
             self.cache.clear();
         }
+    }
+
+    /// Number of entries currently held by the index cache (tests and
+    /// factor analysis).
+    pub fn cache_len(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Whether the index cache currently holds `key` (tests).
+    pub fn cache_contains(&self, key: &[u8]) -> bool {
+        self.cache.contains(key)
+    }
+
+    /// Adopts the latest placement snapshot immediately, as an epoch fence
+    /// bounce would (tests exercising the cache-purge protocol without
+    /// having to provoke a fence).
+    #[doc(hidden)]
+    pub fn force_refresh_placement(&mut self) {
+        self.refresh_placement();
     }
 
     #[inline]
@@ -387,19 +405,35 @@ impl AcesoClient {
         GlobalAddr::new(self.node_of(col, off), off)
     }
 
-    /// Adopts the latest placement snapshot after an epoch fence. Cache
-    /// entries whose slot address points at a retired node are purged: the
-    /// retired memory may still respond, but nothing on it is current, so
-    /// reading (or CASing) through such an address would miss every commit
-    /// made after the column moved.
+    /// Adopts the latest placement snapshot after an epoch fence, purging
+    /// every cache entry the change could have invalidated:
+    ///
+    /// * entries whose slot address points at a **retired** node — the
+    ///   retired memory may still respond, but nothing on it is current;
+    /// * entries whose index column or KV column **changed placement after
+    ///   the entry was filled** ([`PlacementSnapshot::col_epoch`] vs the
+    ///   entry's fill epoch). This is the case retirement alone misses: a
+    ///   mid-migration column already serves some offsets from the target
+    ///   while its source is not retired yet, and once this client adopts
+    ///   the new epoch the fences no longer bounce it — a stale cached
+    ///   physical address would read (or CAS) through to the wrong side
+    ///   undetected.
     fn refresh_placement(&mut self) {
         self.pl = self.placement.snapshot();
         self.dm.set_placement_epoch(self.pl.epoch);
-        if !self.pl.retired.is_empty() {
-            let retired = self.pl.retired.clone();
-            self.cache
-                .retain(|_, e| !retired.contains(&e.slot_addr.node));
+        let pl = Arc::clone(&self.pl);
+        if pl.retired.is_empty() && pl.col_epochs.is_empty() {
+            return;
         }
+        let n = self.n() as u64;
+        self.cache.purge(|key, e| {
+            if pl.retired.contains(&e.slot_addr.node) {
+                return true;
+            }
+            let index_col = (route_hash(key) % n) as usize;
+            let (kv_col, _) = unpack_col(e.atomic.addr48);
+            pl.col_epoch(index_col) > e.fill_epoch || pl.col_epoch(kv_col) > e.fill_epoch
+        });
     }
 
     /// Charges one attempt against `policy`, tracking the unified
@@ -569,7 +603,7 @@ impl AcesoClient {
                     // A KV read hit a migration fence through a stale
                     // placement (or a stale cached physical address):
                     // refresh and re-resolve from the index.
-                    self.cache.remove(key);
+                    self.cache.invalidate(key);
                     self.refresh_placement();
                 }
                 r => break r,
@@ -635,7 +669,7 @@ impl AcesoClient {
     async fn search_inner(&mut self, key: &[u8]) -> Result<Option<Vec<u8>>> {
         let fp = fingerprint(key);
         if self.tuning.use_cache {
-            if let Some(entry) = self.cache.get(key).copied() {
+            if let Some(entry) = self.cache.get(key) {
                 if self.tuning.cache_slot_addr {
                     // A `None` falls through to a full query.
                     if let Some(found) = self.search_via_cache(key, fp, entry).await? {
@@ -672,7 +706,7 @@ impl AcesoClient {
         self.dm.settle().await;
         let Ok(slot) = slot else {
             // Index MN unreachable (mid-recovery): drop entry, full query.
-            self.cache.remove(key);
+            self.cache.invalidate(key);
             return Ok(None);
         };
         if slot.atomic == entry.atomic {
@@ -689,7 +723,7 @@ impl AcesoClient {
                     // The slot still points here but the bytes are not this
                     // key's KV (collision / unreconstructable): drop the
                     // stale entry and fall back to a full query.
-                    self.cache.remove(key);
+                    self.cache.invalidate(key);
                     return Ok(None);
                 }
             }
@@ -705,12 +739,13 @@ impl AcesoClient {
                         atomic: slot.atomic,
                         meta: slot.meta,
                         tombstone: val.is_none(),
+                        fill_epoch: self.pl.epoch,
                     },
                 );
                 return Ok(Some(val));
             }
         }
-        self.cache.remove(key);
+        self.cache.invalidate(key);
         Ok(None)
     }
 
@@ -735,7 +770,7 @@ impl AcesoClient {
         });
         self.dm.settle().await;
         let Ok(scan) = scan else {
-            self.cache.remove(key);
+            self.cache.invalidate(key);
             return Ok(None);
         };
         for cand in &scan.matches {
@@ -756,7 +791,7 @@ impl AcesoClient {
                 break;
             }
         }
-        self.cache.remove(key);
+        self.cache.invalidate(key);
         // Use the fresh scan directly rather than re-scanning.
         self.search_candidates(key, scan.matches).await.map(Some)
     }
@@ -808,6 +843,7 @@ impl AcesoClient {
                             atomic: cand.atomic,
                             meta: cand.meta,
                             tombstone: val.is_none(),
+                            fill_epoch: self.pl.epoch,
                         },
                     );
                 }
@@ -1132,11 +1168,11 @@ impl AcesoClient {
     /// a cached slot address whose state needs no slow-path protocol —
     /// no tombstone revalidation (UPDATE/DELETE of a deleted key must
     /// report `NotFound`), no version rollover, no Meta-epoch lock.
-    fn pipelined_entry(&self, key: &[u8], allow_insert: bool) -> Option<CacheEntry> {
+    fn pipelined_entry(&mut self, key: &[u8], allow_insert: bool) -> Option<CacheEntry> {
         if !(self.tuning.use_cache && self.tuning.cache_slot_addr) {
             return None;
         }
-        let e = self.cache.get(key).copied()?;
+        let e = self.cache.get(key)?;
         if e.tombstone && !allow_insert {
             return None;
         }
@@ -1148,7 +1184,8 @@ impl AcesoClient {
 
     async fn locate_slot(&mut self, index: &RemoteIndex, key: &[u8], fp: u8) -> Result<Located> {
         if self.tuning.use_cache && self.tuning.cache_slot_addr {
-            if let Some(e) = self.cache.get(key).copied() {
+            // `peek`: the lookup was already counted by `pipelined_entry`.
+            if let Some(e) = self.cache.peek(key) {
                 // Re-read the slot: commits need fresh Atomic/Meta words.
                 let slot = self.with_index_retry(|dm| index.read_slot(dm, e.slot_addr));
                 self.dm.settle().await;
@@ -1167,10 +1204,10 @@ impl AcesoClient {
                                 return Ok(Located::Existing(s.addr, s.atomic, s.meta, tomb));
                             }
                         }
-                        self.cache.remove(key);
+                        self.cache.invalidate(key);
                     }
                     _ => {
-                        self.cache.remove(key);
+                        self.cache.invalidate(key);
                     }
                 }
             }
@@ -1372,6 +1409,7 @@ impl AcesoClient {
                     atomic: new_atomic,
                     meta: new_meta,
                     tombstone,
+                    fill_epoch: self.pl.epoch,
                 },
             );
         }
@@ -1425,7 +1463,7 @@ impl AcesoClient {
                 // The cached slot address may name a dead or pre-recovery
                 // MN: drop it so the retry re-resolves on the slow path
                 // instead of spinning on the same unreachable node.
-                self.cache.remove(key);
+                self.cache.invalidate(key);
                 return Err(e);
             }
         };
@@ -1436,7 +1474,7 @@ impl AcesoClient {
             // parity-linear.
             self.flush_deferred_deltas().await?;
             self.defer_invalidate(&place);
-            self.cache.remove(key);
+            self.cache.invalidate(key);
             if !slot.meta.is_locked()
                 && !slot.atomic.is_empty()
                 && slot.atomic.fp == fp
@@ -1483,7 +1521,7 @@ impl AcesoClient {
         }
         if !committed {
             self.defer_invalidate(&place);
-            self.cache.remove(key);
+            self.cache.invalidate(key);
             return Ok(CommitOutcome::Retry);
         }
         self.mark_obsolete(entry.atomic.addr48, entry.meta.len64);
@@ -1503,6 +1541,7 @@ impl AcesoClient {
                 atomic: new_atomic,
                 meta: new_meta,
                 tombstone,
+                fill_epoch: self.pl.epoch,
             },
         );
         self.maybe_flush()?;
@@ -1568,8 +1607,13 @@ impl AcesoClient {
             })();
         });
         self.dm.settle().await;
-        if matches!(&res, Err(StoreError::Rdma(RdmaError::EpochFenced { .. }))) {
+        if res.is_err() {
+            // Requeue on *any* batch abort (fence, unreachable node,
+            // simulated crash), not just fences: a dropped invalidation
+            // would leave a lost-race KV readable forever.
             self.pending_inval = invals;
+        }
+        if matches!(&res, Err(StoreError::Rdma(RdmaError::EpochFenced { .. }))) {
             self.unwind_fenced_place(&place).await?;
         }
         res?;
@@ -1642,6 +1686,7 @@ impl AcesoClient {
                     atomic: new_atomic,
                     meta: new_meta,
                     tombstone,
+                    fill_epoch: self.pl.epoch,
                 },
             );
         }
@@ -1697,6 +1742,7 @@ impl AcesoClient {
                     atomic: new_atomic,
                     meta: new_meta,
                     tombstone,
+                    fill_epoch: self.pl.epoch,
                 },
             );
         }
@@ -1764,10 +1810,11 @@ impl AcesoClient {
         });
         self.dm.settle().await;
         let fence_abort = matches!(&res, Err(StoreError::Rdma(RdmaError::EpochFenced { .. })));
-        if matches!(&slot_read, Some(Err(_))) || fence_abort {
-            // Writes were skipped (or aborted partway): requeue the
-            // invalidations for the retry's batch — rewriting any that
-            // already landed is idempotent.
+        if matches!(&slot_read, Some(Err(_))) || res.is_err() {
+            // Writes were skipped (or aborted partway — fence bounce, an
+            // unreachable node, a simulated crash): requeue the
+            // invalidations so no error path silently drops them —
+            // rewriting any that already landed is idempotent.
             self.pending_inval = invals;
         }
         if fence_abort {
@@ -1913,6 +1960,9 @@ impl AcesoClient {
     }
 
     /// Posts any still-queued invalidation writes in one doorbell batch.
+    /// On error the queue is restored (rewriting landed entries is
+    /// idempotent), so a failed flush can be retried by a later batch or
+    /// the next operation's drain instead of silently dropping the stamps.
     fn flush_invals(&mut self) -> Result<()> {
         if self.pending_inval.is_empty() {
             return Ok(());
@@ -1927,6 +1977,9 @@ impl AcesoClient {
                 Ok(())
             })();
         });
+        if res.is_err() {
+            self.pending_inval = writes;
+        }
         res
     }
 

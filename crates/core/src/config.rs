@@ -165,6 +165,11 @@ pub struct ClientTuning {
     /// Cache the slot *address* in addition to its value, enabling the
     /// validate-by-reread fast path (§3.5.1, the `+CACHE` step).
     pub cache_slot_addr: bool,
+    /// Bound on the per-client index cache (entries). Eviction is CLOCK /
+    /// second-chance over a deterministic BTreeMap (see
+    /// [`crate::cache::IndexCache`]); 0 disables caching even when
+    /// `use_cache` is set.
+    pub cache_capacity: usize,
     /// Commit retry budget before reporting `RetriesExhausted`.
     pub max_retries: usize,
     /// How long (ms) index reads wait for a crashed column's replacement
@@ -178,6 +183,7 @@ impl Default for ClientTuning {
         ClientTuning {
             use_cache: true,
             cache_slot_addr: true,
+            cache_capacity: 4096,
             max_retries: 10_000,
             index_wait_ms: 10_000,
         }

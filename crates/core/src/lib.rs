@@ -13,6 +13,7 @@
 //! |---|---|
 //! | §3.1 overview, memory areas | [`config`] |
 //! | §3.2.2 slot versioning (Algorithm 1), client ops | [`client`] |
+//! | §3.5.1 bounded client index cache | [`cache`] |
 //! | KV pair / delta wire format, Write Versions (§3.4.2) | [`kv`] |
 //! | §3.2.1/§3.2.3 differential checkpointing + Index Version | [`ckpt`] |
 //! | §3.3 offline erasure coding, §3.3.3 reclamation (server side) | [`server`] |
@@ -25,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cache;
 pub mod ckpt;
 pub mod client;
 pub mod config;
@@ -38,6 +40,7 @@ pub mod scrub;
 pub mod server;
 pub mod store;
 
+pub use cache::{CacheEntry, IndexCache};
 pub use client::{AcesoClient, ModelMutation};
 pub use config::{AcesoConfig, ClientTuning, MemoryMap};
 pub use elastic::{ElasticReport, ElasticStep, Migration};

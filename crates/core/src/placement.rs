@@ -28,6 +28,7 @@ use crate::config::MemoryMap;
 use aceso_blockalloc::CellKind;
 use aceso_rdma::NodeId;
 use parking_lot::Mutex;
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 /// Why a column is being migrated. Mechanically join and drain are the
@@ -80,9 +81,23 @@ pub struct PlacementSnapshot {
     /// Nodes retired by completed migrations. Cached physical addresses
     /// pointing here are stale even though the memory may still respond.
     pub retired: Vec<NodeId>,
+    /// Per-column last-placement-change epoch: the epoch of the most
+    /// recent mutation that touched the column's placement (begin, group
+    /// move, re-encode, publish, abort). Clients compare this against the
+    /// epoch a cache entry was filled under — an entry is stale as soon as
+    /// its column changed placement after the fill, *even if no node has
+    /// been retired yet* (a mid-migration column already serves some
+    /// offsets from the target).
+    pub col_epochs: BTreeMap<usize, u64>,
 }
 
 impl PlacementSnapshot {
+    /// The epoch of the last placement change affecting `col` (0 when the
+    /// column has never migrated — older than any real fill epoch).
+    pub fn col_epoch(&self, col: usize) -> u64 {
+        self.col_epochs.get(&col).copied().unwrap_or(0)
+    }
+
     /// Node override for block-area offset `off` of column `col`, or `None`
     /// when the directory is authoritative (no migration on this column,
     /// index/meta areas, groups not yet moved).
@@ -131,6 +146,7 @@ impl PlacementMap {
                 epoch,
                 migration: None,
                 retired: Vec::new(),
+                col_epochs: BTreeMap::new(),
             })),
         }
     }
@@ -162,6 +178,13 @@ impl PlacementMap {
         epoch
     }
 
+    /// Stamps `col`'s last-placement-change epoch inside a `publish`
+    /// closure (the closure already sees the incremented epoch).
+    fn stamp(s: &mut PlacementSnapshot, col: usize) {
+        let e = s.epoch;
+        s.col_epochs.insert(col, e);
+    }
+
     /// Starts a migration of `col` from `from` to `to` with `groups`
     /// placement groups. Returns the published epoch.
     pub(crate) fn begin(&self, col: usize, from: NodeId, to: NodeId, groups: usize) -> u64 {
@@ -175,6 +198,7 @@ impl PlacementMap {
                 parity_moved: false,
                 mirror: true,
             });
+            Self::stamp(s, col);
         })
     }
 
@@ -183,6 +207,8 @@ impl PlacementMap {
         self.publish(|s| {
             if let Some(m) = s.migration.as_mut() {
                 m.moved[g] = true;
+                let col = m.col;
+                Self::stamp(s, col);
             }
         })
     }
@@ -192,6 +218,8 @@ impl PlacementMap {
         self.publish(|s| {
             if let Some(m) = s.migration.as_mut() {
                 m.parity_moved = true;
+                let col = m.col;
+                Self::stamp(s, col);
             }
         })
     }
@@ -201,6 +229,7 @@ impl PlacementMap {
         self.publish(|s| {
             if let Some(m) = s.migration.take() {
                 s.retired.push(m.from);
+                Self::stamp(s, m.col);
             }
         })
     }
@@ -209,7 +238,9 @@ impl PlacementMap {
     /// the dual-write mirror) is authoritative again.
     pub(crate) fn abort(&self) -> u64 {
         self.publish(|s| {
-            s.migration = None;
+            if let Some(m) = s.migration.take() {
+                Self::stamp(s, m.col);
+            }
         })
     }
 
@@ -246,6 +277,37 @@ mod tests {
         }
         assert_eq!(pm.snapshot().retired, vec![NodeId(1)]);
         assert!(pm.snapshot().migration.is_none());
+    }
+
+    #[test]
+    fn col_epochs_track_every_placement_mutation() {
+        let pm = PlacementMap::new(3);
+        // Never-migrated columns read as epoch 0 (older than any fill).
+        assert_eq!(pm.snapshot().col_epoch(1), 0);
+
+        let e_begin = pm.begin(1, NodeId(1), NodeId(9), 4);
+        assert_eq!(pm.snapshot().col_epoch(1), e_begin);
+        // Other columns stay untouched.
+        assert_eq!(pm.snapshot().col_epoch(2), 0);
+
+        let e_moved = pm.mark_moved(2);
+        assert_eq!(pm.snapshot().col_epoch(1), e_moved);
+        let e_parity = pm.mark_parity_moved();
+        assert_eq!(pm.snapshot().col_epoch(1), e_parity);
+        let e_finish = pm.finish();
+        assert_eq!(pm.snapshot().col_epoch(1), e_finish);
+
+        // A membership-only bump advances the epoch but stamps no column.
+        let e_bump = pm.bump();
+        assert!(e_bump > e_finish);
+        assert_eq!(pm.snapshot().col_epoch(1), e_finish);
+
+        // Abort stamps the column too: clients may have cached through the
+        // migration view and must re-resolve against the directory.
+        let e2 = pm.begin(2, NodeId(2), NodeId(8), 4);
+        assert_eq!(pm.snapshot().col_epoch(2), e2);
+        let e_abort = pm.abort();
+        assert_eq!(pm.snapshot().col_epoch(2), e_abort);
     }
 
     #[test]
